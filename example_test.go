@@ -1,0 +1,93 @@
+package gumbo_test
+
+import (
+	"fmt"
+
+	gumbo "repro"
+)
+
+// ExampleParse parses and introspects an SGF program.
+func ExampleParse() {
+	q, err := gumbo.Parse(`Z := SELECT x, y FROM R(x, y) WHERE S(x) AND NOT T(y);`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Name(), q.Subqueries(), q.SemiJoins(), q.Nested())
+	// Output: Z 1 2 false
+}
+
+// ExampleSystem_Run evaluates a semi-join under the GREEDY strategy.
+func ExampleSystem_Run() {
+	q := gumbo.MustParse(`Z := SELECT x FROM R(x, y) WHERE S(y);`)
+	db := gumbo.NewDatabase()
+	db.Put(gumbo.FromTuples("R", 2, []gumbo.Tuple{
+		{gumbo.Int(1), gumbo.Int(10)},
+		{gumbo.Int(2), gumbo.Int(20)},
+	}))
+	db.Put(gumbo.FromTuples("S", 1, []gumbo.Tuple{{gumbo.Int(10)}}))
+	res, err := gumbo.New().Run(q, db, gumbo.Greedy)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range res.Relation.Sorted() {
+		fmt.Println(t)
+	}
+	// Output: (1)
+}
+
+// ExampleEval uses the direct in-memory evaluator.
+func ExampleEval() {
+	q := gumbo.MustParse(`
+		Z1 := SELECT x FROM R(x, y) WHERE S(x);
+		Z2 := SELECT x FROM R(x, y) WHERE NOT Z1(x);`)
+	db := gumbo.NewDatabase()
+	db.Put(gumbo.FromTuples("R", 2, []gumbo.Tuple{
+		{gumbo.Int(1), gumbo.Int(2)},
+		{gumbo.Int(3), gumbo.Int(4)},
+	}))
+	db.Put(gumbo.FromTuples("S", 1, []gumbo.Tuple{{gumbo.Int(1)}}))
+	out, err := gumbo.Eval(q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.Sorted())
+	// Output: [(3)]
+}
+
+// ExampleMerge combines two query programs (§4.7) so that their shared
+// atoms are evaluated once.
+func ExampleMerge() {
+	q1 := gumbo.MustParse(`Z1 := SELECT x FROM R(x, y) WHERE S(x);`)
+	q2 := gumbo.MustParse(`Z2 := SELECT y FROM R(x, y) WHERE S(x);`)
+	merged, err := gumbo.Merge(q1, q2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(merged.Subqueries(), merged.SemiJoins())
+	// Output: 2 2
+}
+
+// ExampleSystem_Plan inspects a plan without running it.
+func ExampleSystem_Plan() {
+	q := gumbo.MustParse(`Z := SELECT x FROM R(x, y) WHERE S(x) AND T(x);`)
+	db := gumbo.NewDatabase()
+	db.Put(gumbo.NewRelation("R", 2))
+	db.Put(gumbo.NewRelation("S", 1))
+	db.Put(gumbo.NewRelation("T", 1))
+	sys := gumbo.New()
+	plan, err := sys.Plan(q, db, gumbo.OneRound)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan)
+	// Output: 1-ROUND: 1 jobs, 1 rounds
+}
+
+// ExampleQuery_BaseRelations lists the inputs a query expects.
+func ExampleQuery_BaseRelations() {
+	q := gumbo.MustParse(`
+		Z1 := SELECT aut FROM Amaz(ttl, aut, "bad") WHERE BN(ttl, aut, "bad");
+		Z2 := SELECT new, aut FROM Upcoming(new, aut) WHERE NOT Z1(aut);`)
+	fmt.Println(q.BaseRelations())
+	// Output: [Amaz BN Upcoming]
+}

@@ -1,0 +1,53 @@
+// Costmodel: the §5.2 "Cost Model" walkthrough. The adversarial query
+// semi-joins a 12-ary guard against four relations on all twelve keys
+// with a constant that filters out every conditional tuple: the guard's
+// map output explodes (48 requests per fact) while the conditional
+// relations contribute nothing. The paper's per-partition cost model
+// (cost_gumbo, Eq. 2) prices the guard's map-side merges correctly; the
+// aggregate model of Wang et al. (cost_wang, Eq. 3) averages them away
+// and groups too aggressively.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+func main() {
+	const scale = 0.001
+	wl := workload.CostModel()
+	fmt.Printf("query: %d semi-join equations over guard R12\n\n",
+		len(core.ExtractEquations(wl.Program.Queries)))
+	db := wl.Build(scale)
+	costCfg := cost.Default().Scaled(scale)
+	runner := exec.NewRunner(costCfg, cluster.DefaultConfig())
+
+	for _, model := range []cost.Model{cost.Gumbo, cost.Wang} {
+		est := core.NewEstimator(costCfg, model, db, wl.Program)
+		eqs := core.ExtractEquations(wl.Program.Queries)
+		partition := est.GreedyBSGF(eqs)
+		plan, err := core.BasicPlan(fmt.Sprintf("cm-%v", model), core.StrategyGreedy,
+			wl.Program.Queries, eqs, partition)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runner.Run(plan, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("planned under cost_%v:\n", model)
+		fmt.Printf("  Greedy-BSGF partition: %d MSJ job(s) %s\n",
+			len(partition), core.PartitionString(partition))
+		fmt.Printf("  measured: %s\n\n", res.Metrics)
+	}
+	fmt.Println("cost_gumbo isolates the guard's per-mapper intermediate volume and")
+	fmt.Println("stops merging before map-side external sorts dominate; cost_wang")
+	fmt.Println("averages intermediate data over all mappers (including the filtered")
+	fmt.Println("conditionals) and under-prices the grouped job.")
+}

@@ -1,0 +1,76 @@
+// Quickstart: parse an SGF query, build a small database with the
+// public API, compare the evaluation strategies, and print the result.
+//
+// The query is the running example of the paper's introduction:
+//
+//	SELECT (x, y) FROM R(x, y)
+//	WHERE (S(x, y) OR S(y, x)) AND T(x, z)
+//
+// which asks for the pairs (x, y) in R such that (x,y) or (y,x) occurs
+// in S and x has at least one T-partner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gumbo "repro"
+)
+
+func main() {
+	q, err := gumbo.Parse(`
+		Z := SELECT x, y FROM R(x, y)
+		     WHERE (S(x, y) OR S(y, x)) AND T(x, z);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(q.Describe())
+
+	db := gumbo.NewDatabase()
+	db.Put(gumbo.FromTuples("R", 2, []gumbo.Tuple{
+		{gumbo.Int(1), gumbo.Int(2)},
+		{gumbo.Int(2), gumbo.Int(3)},
+		{gumbo.Int(4), gumbo.Int(5)},
+		{gumbo.Int(6), gumbo.Int(7)},
+	}))
+	db.Put(gumbo.FromTuples("S", 2, []gumbo.Tuple{
+		{gumbo.Int(1), gumbo.Int(2)}, // matches R(1,2) directly
+		{gumbo.Int(3), gumbo.Int(2)}, // matches R(2,3) flipped
+		{gumbo.Int(5), gumbo.Int(4)}, // matches R(4,5) flipped
+	}))
+	db.Put(gumbo.FromTuples("T", 2, []gumbo.Tuple{
+		{gumbo.Int(1), gumbo.Int(100)},
+		{gumbo.Int(2), gumbo.Int(200)},
+		{gumbo.Int(6), gumbo.Int(300)},
+	}))
+
+	// Direct in-memory evaluation (the reference semantics).
+	ref, err := gumbo.Eval(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference result: %d tuples\n", ref.Size())
+
+	// MapReduce evaluation under each strategy; all agree on the output
+	// but differ in job structure and simulated cost.
+	sys := gumbo.New() // the paper's 10-node cluster, Table 5 constants
+	for _, strat := range []gumbo.Strategy{gumbo.SEQ, gumbo.PAR, gumbo.Greedy} {
+		res, err := sys.Run(q, db, strat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Relation.Equal(ref) {
+			log.Fatalf("%s: output deviates from reference", strat)
+		}
+		fmt.Printf("%-7s %-24s %s\n", strat, res.Plan, res.Metrics)
+	}
+
+	res, err := sys.Run(q, db, sys.Auto(q))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noutput tuples (auto strategy):")
+	for _, t := range res.Relation.Sorted() {
+		fmt.Println(" ", t)
+	}
+}

@@ -1,0 +1,295 @@
+// Package gumbo is a Go implementation of Gumbo, the system of
+// "Parallel Evaluation of Multi-Semi-Joins" (Daenen, Neven, Tan,
+// Vansummeren; VLDB 2016): parallel evaluation of Strictly Guarded
+// Fragment (SGF) queries with the multi-semi-join MapReduce operator
+// MSJ, cost-based job grouping (Greedy-BSGF), and multiway topological
+// sorting of subqueries (Greedy-SGF).
+//
+// The package evaluates SGF queries over in-memory relations on an
+// in-process MapReduce engine that measures the byte quantities of the
+// paper's cost model and derives simulated net/total times on a
+// configurable virtual cluster. A minimal session:
+//
+//	q, _ := gumbo.Parse(`Z := SELECT x, y FROM R(x, y) WHERE S(x) AND T(y);`)
+//	db := gumbo.NewDatabase()
+//	db.Put(gumbo.NewRelation("R", 2)) // fill with Add(...)
+//	...
+//	sys := gumbo.New()
+//	res, _ := sys.Run(q, db, gumbo.Greedy)
+//	fmt.Println(res.Relation, res.Metrics)
+package gumbo
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/mr"
+	"repro/internal/refeval"
+	"repro/internal/relation"
+	"repro/internal/sgf"
+)
+
+// Re-exported relational types. Values are int64 handles; use Int and
+// Str to construct them and Value.Text to render them.
+type (
+	// Value is a single data value.
+	Value = relation.Value
+	// Tuple is an ordered sequence of values.
+	Tuple = relation.Tuple
+	// Relation is a named set of tuples of fixed arity.
+	Relation = relation.Relation
+	// Database is a named collection of relations.
+	Database = relation.Database
+	// Metrics carries the four §5.1 performance metrics of a run.
+	Metrics = mr.Metrics
+	// CostConfig holds the MapReduce cost-model constants (Table 1/5).
+	CostConfig = cost.Config
+	// Strategy selects an evaluation strategy.
+	Strategy = core.Strategy
+)
+
+// Evaluation strategies (§5). SEQ, PAR, GREEDY, OPT and OneRound apply
+// to flat (dependency-free) query sets; SeqUnit, ParUnit and GreedySGF
+// apply to arbitrary SGF programs; HPAR, HPARS and PPAR are the Hive
+// and Pig baselines.
+const (
+	SEQ       = core.StrategySEQ
+	PAR       = core.StrategyPAR
+	Greedy    = core.StrategyGreedy
+	Opt       = core.StrategyOpt
+	OneRound  = core.StrategyOneRound
+	SeqUnit   = core.StrategySeqUnit
+	ParUnit   = core.StrategyParUnit
+	GreedySGF = core.StrategyGreedySGF
+	HPAR      = baselines.StrategyHPAR
+	HPARS     = baselines.StrategyHPARS
+	PPAR      = baselines.StrategyPPAR
+)
+
+// Int returns the Value for a non-negative integer.
+func Int(n int64) Value { return relation.Int(n) }
+
+// Str returns the Value for a string (interned).
+func Str(s string) Value { return relation.String(s) }
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return relation.NewDatabase() }
+
+// NewRelation returns an empty relation with the given name and arity.
+func NewRelation(name string, arity int) *Relation { return relation.New(name, arity) }
+
+// FromTuples builds a relation from tuples (set semantics).
+func FromTuples(name string, arity int, tuples []Tuple) *Relation {
+	return relation.FromTuples(name, arity, tuples)
+}
+
+// DefaultCostConfig returns the paper's measured constants (Table 5).
+func DefaultCostConfig() CostConfig { return cost.Default() }
+
+// System evaluates queries under one configuration.
+type System struct {
+	costCfg    cost.Config
+	clusterCfg cluster.Config
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithCostConfig replaces the cost-model constants.
+func WithCostConfig(c CostConfig) Option {
+	return func(s *System) { s.costCfg = c }
+}
+
+// WithCluster sets the simulated cluster size (nodes × container slots
+// per node). The paper's testbed is 10×10.
+func WithCluster(nodes, slotsPerNode int) Option {
+	return func(s *System) { s.clusterCfg = cluster.Config{Nodes: nodes, SlotsPerNode: slotsPerNode} }
+}
+
+// WithScale scales the size-dependent cost settings (buffers, splits,
+// reducer allocation) for runs at a fraction of the paper's data sizes.
+func WithScale(f float64) Option {
+	return func(s *System) { s.costCfg = s.costCfg.Scaled(f) }
+}
+
+// New returns a System with the paper's default configuration.
+func New(opts ...Option) *System {
+	s := &System{costCfg: cost.Default(), clusterCfg: cluster.DefaultConfig()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Result is the outcome of running a query.
+type Result struct {
+	// Relation is the query program's final output relation.
+	Relation *Relation
+	// Outputs contains every output relation the program defines.
+	Outputs *Database
+	// Metrics are the measured/simulated performance metrics.
+	Metrics Metrics
+	// Plan describes the executed MR program.
+	Plan *Plan
+}
+
+// Plan wraps an executable MapReduce plan.
+type Plan struct {
+	inner *core.Plan
+}
+
+// Strategy returns the plan's strategy.
+func (p *Plan) Strategy() Strategy { return p.inner.Strategy }
+
+// Jobs returns the number of MapReduce jobs.
+func (p *Plan) Jobs() int { return len(p.inner.Jobs) }
+
+// Rounds returns the length of the longest job dependency chain.
+func (p *Plan) Rounds() int { return p.inner.Rounds() }
+
+// String renders a one-line summary.
+func (p *Plan) String() string {
+	return fmt.Sprintf("%s: %d jobs, %d rounds", p.inner.Strategy, p.Jobs(), p.Rounds())
+}
+
+// Plan builds the MapReduce plan for q under the strategy without
+// running it. Cost-based strategies sample db to estimate job costs.
+func (s *System) Plan(q *Query, db *Database, strategy Strategy) (*Plan, error) {
+	inner, err := s.plan(q, db, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{inner: inner}, nil
+}
+
+func (s *System) plan(q *Query, db *Database, strategy Strategy) (*core.Plan, error) {
+	prog := q.prog
+	queries := prog.Queries
+	name := fmt.Sprintf("%s-%s", q.Name(), strategy)
+	est := func() *core.Estimator {
+		return core.NewEstimator(s.costCfg, cost.Gumbo, db, prog)
+	}
+	flat := func() error {
+		if err := sgf.CheckForwardRefs(prog); err != nil {
+			return err
+		}
+		g := sgf.BuildDepGraph(prog)
+		for i := 0; i < g.N; i++ {
+			if len(g.Pred[i]) > 0 {
+				return fmt.Errorf("gumbo: strategy %s requires dependency-free queries; use SeqUnit, ParUnit or GreedySGF", strategy)
+			}
+		}
+		return nil
+	}
+	switch strategy {
+	case core.StrategySEQ:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return core.SeqPlanMulti(name, queries)
+	case core.StrategyPAR:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return core.ParPlan(name, queries)
+	case core.StrategyGreedy:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return est().GreedyPlan(name, queries)
+	case core.StrategyOpt:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return est().OptPlan(name, queries)
+	case core.StrategyOneRound:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return core.OneRoundPlan(name, queries)
+	case core.StrategySeqUnit:
+		return core.SeqUnitPlan(name, prog)
+	case core.StrategyParUnit:
+		return core.ParUnitPlan(name, prog)
+	case core.StrategyGreedySGF:
+		return est().GreedySGFPlan(name, prog)
+	case baselines.StrategyHPAR:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return baselines.HParPlan(name, queries)
+	case baselines.StrategyHPARS:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return baselines.HParSPlan(name, queries)
+	case baselines.StrategyPPAR:
+		if err := flat(); err != nil {
+			return nil, err
+		}
+		return baselines.PParPlan(name, queries)
+	default:
+		return nil, fmt.Errorf("gumbo: unknown strategy %q", strategy)
+	}
+}
+
+// Run plans and executes q against db under the strategy.
+func (s *System) Run(q *Query, db *Database, strategy Strategy) (*Result, error) {
+	inner, err := s.plan(q, db, strategy)
+	if err != nil {
+		return nil, err
+	}
+	runner := exec.NewRunner(s.costCfg, s.clusterCfg)
+	res, err := runner.Run(inner, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Relation: res.Outputs.Relation(q.prog.OutputName()),
+		Outputs:  res.Outputs,
+		Metrics:  res.Metrics,
+		Plan:     &Plan{inner: inner},
+	}, nil
+}
+
+// Auto picks a strategy for q: the fused 1-ROUND job when every query
+// admits it, GreedySGF for nested programs, and Greedy otherwise.
+func (s *System) Auto(q *Query) Strategy {
+	g := sgf.BuildDepGraph(q.prog)
+	nested := false
+	for i := 0; i < g.N; i++ {
+		if len(g.Pred[i]) > 0 {
+			nested = true
+			break
+		}
+	}
+	if nested {
+		return GreedySGF
+	}
+	allOneRound := true
+	for _, bq := range q.prog.Queries {
+		if core.OneRoundApplicable(bq) == core.OneRoundInapplicable {
+			allOneRound = false
+			break
+		}
+	}
+	if allOneRound {
+		return OneRound
+	}
+	return Greedy
+}
+
+// Eval evaluates q directly in memory (the reference evaluator), without
+// MapReduce. Useful for testing and for small inputs.
+func Eval(q *Query, db *Database) (*Relation, error) {
+	return refeval.EvalOutput(q.prog, db)
+}
+
+// EvalAll evaluates q directly and returns every output relation.
+func EvalAll(q *Query, db *Database) (*Database, error) {
+	return refeval.EvalProgram(q.prog, db)
+}

@@ -1,0 +1,244 @@
+// Package baselines emulates the comparison systems of §5.2 — Pig 0.15
+// and Hive 1.2.1 — as plan shapes on the same MapReduce engine. The
+// emulations reproduce the plan-level causes the paper identifies for
+// their behaviour:
+//
+//   - HPAR (Hive outer joins): one outer-join stage per conditional
+//     atom, stages forcibly sequential (Hive executes such join chains
+//     sequentially even with parallel execution enabled), except that
+//     consecutive joins on the same key collapse into one stage (which
+//     is why A3 drops to two jobs in the paper); full tuples plus
+//     null-flags are shuffled at every stage.
+//   - HPARS (Hive semi-joins): one semi-join job per atom, runnable in
+//     parallel but without any grouping or tuple-id reduction: the X
+//     relations hold full guard tuples.
+//   - PPAR (Pig COGROUP): like HPARS, plus Pig's input-based reducer
+//     allocation (one reducer per GB of map input) and no intermediate
+//     reduction.
+//
+// None of the baselines use message packing, and their serialization
+// overhead is modelled with an intermediate-data inflation factor.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/relation"
+	"repro/internal/sgf"
+)
+
+// Strategy labels for the baselines.
+const (
+	StrategyHPAR  core.Strategy = "HPAR"
+	StrategyHPARS core.Strategy = "HPARS"
+	StrategyPPAR  core.Strategy = "PPAR"
+)
+
+// Knobs models the systemic overheads of the emulated engines.
+type Knobs struct {
+	// Inflate multiplies modelled intermediate sizes (serialization
+	// overhead of Hive/Pig record formats vs Gumbo's compact encoding).
+	Inflate float64
+	// TimeFactor slows task execution relative to Gumbo's jobs (JVM
+	// per-record costs, deserialization; the paper attributes HPARS's
+	// slowness to "higher average map and reduce input sizes").
+	TimeFactor float64
+	// ExtraOverheadSec is the per-job startup latency beyond plain MR
+	// (Hive query compilation/launch, Pig script compilation), in
+	// full-scale seconds.
+	ExtraOverheadSec float64
+	// ReducerInputMB, when > 0, switches reducer allocation to Pig's
+	// input-based policy with this much (full-scale) map input per
+	// reducer.
+	ReducerInputMB float64
+}
+
+// HiveKnobs reflects Hive's per-job compilation latency and its higher
+// per-task processing times observed in §5.2.
+func HiveKnobs() Knobs { return Knobs{Inflate: 1.05, TimeFactor: 1.35, ExtraOverheadSec: 20} }
+
+// PigKnobs reflects Pig's bag serialization plus its 1 GB-of-input-per-
+// reducer allocation.
+func PigKnobs() Knobs {
+	return Knobs{Inflate: 1.1, TimeFactor: 1.25, ExtraOverheadSec: 15, ReducerInputMB: 1024}
+}
+
+func (k Knobs) apply(j *mr.Job) {
+	j.Packing = false
+	j.InflateIntermediate = k.Inflate
+	j.TimeFactor = k.TimeFactor
+	j.ExtraOverheadSec = k.ExtraOverheadSec
+	if k.ReducerInputMB > 0 {
+		j.ReducersFromInput = true
+		j.ReducerInputMB = k.ReducerInputMB
+	}
+}
+
+// hxName is the intermediate relation name for query q's atom ai.
+func hxName(prefix, qname string, ai int) string {
+	return fmt.Sprintf("%s_%s_%d", prefix, qname, ai)
+}
+
+// newSemiJoinFullJob builds a per-atom semi-join job that outputs the
+// full matching guard tuples (no tuple-id optimization): the HPARS /
+// PPAR building block.
+func newSemiJoinFullJob(name, out string, q *sgf.BSGF, atom sgf.Atom, k Knobs) *mr.Job {
+	joinVars := sgf.SharedVars(q.Guard, atom)
+	guardMatcher := sgf.NewMatcher(q.Guard)
+	guardProj := sgf.NewProjector(q.Guard, joinVars)
+	condMatcher := sgf.NewMatcher(atom)
+	condProj := sgf.NewProjector(atom, joinVars)
+	inputs := []string{q.Guard.Rel}
+	if atom.Rel != q.Guard.Rel {
+		inputs = append(inputs, atom.Rel)
+	}
+	job := &mr.Job{
+		Name:    name,
+		Inputs:  inputs,
+		Outputs: map[string]int{out: q.Guard.Arity()},
+		Mapper: mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+			if input == q.Guard.Rel && guardMatcher.Matches(t) {
+				emit(guardProj.Apply(t).Key(), core.TupleVal{T: t})
+			}
+			if input == atom.Rel && condMatcher.Matches(t) {
+				emit(condProj.Apply(t).Key(), core.Assert{Class: 0})
+			}
+		}),
+		Reducer: mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+			asserted := false
+			for _, m := range msgs {
+				if _, ok := m.(core.Assert); ok {
+					asserted = true
+					break
+				}
+			}
+			if !asserted {
+				return
+			}
+			for _, m := range msgs {
+				if tv, ok := m.(core.TupleVal); ok {
+					o.Add(out, tv.T)
+				}
+			}
+		}),
+	}
+	k.apply(job)
+	return job
+}
+
+// newCombineFullJob joins the guard with the full-tuple X relations on
+// the whole guard tuple, evaluates the Boolean condition, projects, and
+// deduplicates: the final job of HPARS / PPAR plans.
+func newCombineFullJob(name string, q *sgf.BSGF, xNames []string, k Knobs) *mr.Job {
+	atoms := q.CondAtoms()
+	atomKeys := make([]string, len(atoms))
+	for i, a := range atoms {
+		atomKeys[i] = a.Key()
+	}
+	guardMatcher := sgf.NewMatcher(q.Guard)
+	project := sgf.NewProjector(q.Guard, q.Select)
+	inputs := []string{q.Guard.Rel}
+	roleOf := make(map[string]int32, len(xNames))
+	for i, xn := range xNames {
+		roleOf[xn] = int32(i)
+		inputs = append(inputs, xn)
+	}
+	job := &mr.Job{
+		Name:    name,
+		Inputs:  inputs,
+		Outputs: map[string]int{q.Name: q.OutArity()},
+		Mapper: mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+			if input == q.Guard.Rel {
+				if guardMatcher.Matches(t) {
+					emit(t.Key(), core.XIndex{Atom: -1})
+				}
+				return
+			}
+			emit(t.Key(), core.XIndex{Atom: roleOf[input]})
+		}),
+		Reducer: mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+			truth := make(map[string]bool, len(atomKeys))
+			guardPresent := false
+			for _, m := range msgs {
+				x := m.(core.XIndex)
+				if x.Atom < 0 {
+					guardPresent = true
+				} else {
+					truth[atomKeys[x.Atom]] = true
+				}
+			}
+			if !guardPresent {
+				return
+			}
+			if sgf.EvalCondition(q.Where, truth) {
+				o.Add(q.Name, project.Apply(relation.TupleFromKey(key)))
+			}
+		}),
+	}
+	k.apply(job)
+	return job
+}
+
+// parallelSemiJoinPlan builds the HPARS / PPAR plan for one query: one
+// full-tuple semi-join job per atom (parallel) plus the combine job.
+func parallelSemiJoinPlan(name string, strategy core.Strategy, q *sgf.BSGF, prefix string, k Knobs) (*core.Plan, error) {
+	atoms := q.CondAtoms()
+	plan := &core.Plan{Name: name, Strategy: strategy, Outputs: []string{q.Name}}
+	var xNames []string
+	var deps []int
+	for ai, atom := range atoms {
+		out := hxName(prefix, q.Name, ai)
+		xNames = append(xNames, out)
+		job := newSemiJoinFullJob(fmt.Sprintf("%s/sj%d", name, ai), out, q, atom, k)
+		deps = append(deps, plan.AddJob(job))
+	}
+	plan.AddJob(newCombineFullJob(name+"/combine", q, xNames, k), deps...)
+	return plan, nil
+}
+
+// HParSPlan builds Hive's semi-join strategy plan for the queries.
+func HParSPlan(name string, queries []*sgf.BSGF) (*core.Plan, error) {
+	return mergeIndependent(name, StrategyHPARS, queries, func(n string, q *sgf.BSGF) (*core.Plan, error) {
+		return parallelSemiJoinPlan(n, StrategyHPARS, q, "HXS", HiveKnobs())
+	})
+}
+
+// PParPlan builds Pig's COGROUP strategy plan for the queries.
+func PParPlan(name string, queries []*sgf.BSGF) (*core.Plan, error) {
+	return mergeIndependent(name, StrategyPPAR, queries, func(n string, q *sgf.BSGF) (*core.Plan, error) {
+		return parallelSemiJoinPlan(n, StrategyPPAR, q, "PX", PigKnobs())
+	})
+}
+
+// FullTuplePlan builds the PAR-shaped plan without the tuple-id
+// optimization but with every other Gumbo optimization enabled (message
+// packing, no engine handicaps): per-atom semi-join jobs output full
+// guard tuples and the combine job joins on whole tuples. Used by the
+// tuple-id ablation (DESIGN.md, optimization (2)).
+func FullTuplePlan(name string, queries []*sgf.BSGF) (*core.Plan, error) {
+	plan, err := mergeIndependent(name, "FULL-TUPLE", queries, func(n string, q *sgf.BSGF) (*core.Plan, error) {
+		return parallelSemiJoinPlan(n, "FULL-TUPLE", q, "FX", Knobs{Inflate: 1, TimeFactor: 1})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range plan.Jobs {
+		j.Packing = true
+	}
+	return plan, nil
+}
+
+// mergeIndependent concatenates per-query plans without cross barriers.
+func mergeIndependent(name string, strategy core.Strategy, queries []*sgf.BSGF, build func(string, *sgf.BSGF) (*core.Plan, error)) (*core.Plan, error) {
+	subs := make([]*core.Plan, len(queries))
+	for qi, q := range queries {
+		sub, err := build(fmt.Sprintf("%s/q%d", name, qi), q)
+		if err != nil {
+			return nil, err
+		}
+		subs[qi] = sub
+	}
+	return core.MergePlans(name, strategy, subs), nil
+}

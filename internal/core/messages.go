@@ -1,0 +1,121 @@
+// Package core implements the paper's primary contribution: the
+// multi-semi-join operator MSJ (Algorithm 1) and the EVAL operator for
+// Boolean combinations (§4.3), their fused 1-ROUND form (§5.1,
+// optimization (4)), the plan space for BSGF and SGF queries, the cost
+// estimation that drives plan choice (Eq. 5–10), and the greedy
+// optimizers Greedy-BSGF (§4.4) and Greedy-SGF (§4.6) with brute-force
+// optimal baselines.
+package core
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// Modelled message sizes in bytes. Requests in tuple-id mode carry a
+// 4-byte equation tag and an 8-byte guard tuple reference — this is the
+// paper's optimization (2): shuffling a reference instead of the tuple.
+const (
+	assertBytes  = 4
+	reqIDBytes   = 12
+	xIndexBytes  = 4
+	tupleTagByte = 2
+)
+
+// ReqID is the MSJ request message ("Req (κ_i, i); Out <ref>") in
+// tuple-id mode: it asks whether a conditional fact matching equation Eq
+// exists and, if so, marks guard tuple ID as satisfying that equation.
+type ReqID struct {
+	Eq int32
+	ID int64
+}
+
+// SizeBytes implements mr.Message.
+func (m ReqID) SizeBytes() int64 { return reqIDBytes }
+
+// Assert is the MSJ assert message ("Assert κ"): a conditional fact of
+// assert class Class exists with the record's join key.
+type Assert struct {
+	Class int32
+}
+
+// SizeBytes implements mr.Message.
+func (m Assert) SizeBytes() int64 { return assertBytes }
+
+// ReqTuple is the 1-ROUND request: it carries the projected output tuple
+// directly, since the fused job has no EVAL stage to re-read the guard.
+// Q identifies the query within the job; Disjunct identifies the literal
+// group the key belongs to (used by the disjunctive 1-round variant; -1
+// for the shared-key variant).
+type ReqTuple struct {
+	Q        int32
+	Disjunct int32
+	Out      relation.Tuple
+}
+
+// SizeBytes implements mr.Message.
+func (m ReqTuple) SizeBytes() int64 {
+	return tupleTagByte + 4 + int64(len(m.Out))*relation.BytesPerField
+}
+
+// TupleVal carries a full guard tuple into an EVAL reducer (the guard
+// re-read of optimization (2)).
+type TupleVal struct {
+	T relation.Tuple
+}
+
+// SizeBytes implements mr.Message.
+func (m TupleVal) SizeBytes() int64 {
+	return tupleTagByte + int64(len(m.T))*relation.BytesPerField
+}
+
+// XIndex marks, in an EVAL job, that the key's guard tuple satisfies
+// conditional atom Atom of its query.
+type XIndex struct {
+	Atom int32
+}
+
+// SizeBytes implements mr.Message.
+func (m XIndex) SizeBytes() int64 { return xIndexBytes }
+
+// evalKey builds the EVAL shuffle key (query index, guard tuple id).
+func evalKey(q int32, id int64) string {
+	var b [20]byte
+	n := binary.PutVarint(b[:], int64(q))
+	n += binary.PutVarint(b[n:], id)
+	return string(b[:n])
+}
+
+// parseEvalKey decodes an EVAL shuffle key.
+func parseEvalKey(key string) (q int32, id int64) {
+	qv, n := binary.Varint([]byte(key))
+	idv, _ := binary.Varint([]byte(key[n:]))
+	return int32(qv), idv
+}
+
+// idTuple wraps a guard tuple id as a unary relation tuple: the X_i
+// output relations of an MSJ job hold these references.
+func idTuple(id int64) relation.Tuple { return relation.Tuple{relation.Value(id)} }
+
+// sanitizeName makes a string usable inside generated relation names.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+var (
+	_ mr.Message = ReqID{}
+	_ mr.Message = Assert{}
+	_ mr.Message = ReqTuple{}
+	_ mr.Message = TupleVal{}
+	_ mr.Message = XIndex{}
+)

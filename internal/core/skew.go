@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+	"repro/internal/sgf"
+)
+
+// Skew handling (§6): "the presented framework can readily be adapted
+// [to skew] when information on so-called heavy hitters is available or
+// can be computed at the expense of an additional round." This file
+// implements that adaptation for MSJ jobs: heavy join keys are detected
+// by sampling the guard relations; requests on a heavy key are salted
+// across SaltFactor sub-keys (spreading the hot reducer's load), and the
+// small assert messages are replicated to every salt — semantics are
+// unchanged, reduce-side balance improves.
+
+// SkewConfig parameterizes heavy-hitter detection and mitigation.
+type SkewConfig struct {
+	// HeavyFraction marks a join key heavy when it covers more than
+	// this fraction of its guard relation's facts (default 0.01).
+	HeavyFraction float64
+	// SaltFactor is the number of sub-keys a heavy key is spread over
+	// (default 16).
+	SaltFactor int
+	// SampleEvery is the detection sampling stride (default 100).
+	SampleEvery int
+}
+
+// DefaultSkewConfig returns the default mitigation parameters.
+func DefaultSkewConfig() SkewConfig {
+	return SkewConfig{HeavyFraction: 0.01, SaltFactor: 16, SampleEvery: 100}
+}
+
+func (c SkewConfig) normalized() SkewConfig {
+	if c.HeavyFraction <= 0 {
+		c.HeavyFraction = 0.01
+	}
+	if c.SaltFactor < 2 {
+		c.SaltFactor = 16
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 100
+	}
+	return c
+}
+
+// DetectHeavyKeys samples the guard relations of eqs and returns the
+// set of join-key strings whose frequency exceeds HeavyFraction of
+// their relation ("heavy hitters"). This is the paper's extra sampling
+// pass; it costs one scan of a sample per distinct (guard, join key)
+// projection.
+func DetectHeavyKeys(cfg SkewConfig, eqs []Equation, db *relation.Database) map[string]bool {
+	cfg = cfg.normalized()
+	heavy := make(map[string]bool)
+	seen := make(map[string]bool) // packing groups already sampled
+	for _, eq := range eqs {
+		pk := eq.packKey()
+		if seen[pk] {
+			continue
+		}
+		seen[pk] = true
+		rel := db.Relation(eq.Guard.Rel)
+		if rel == nil || rel.Size() == 0 {
+			continue
+		}
+		matcher := sgf.NewMatcher(eq.Guard)
+		proj := sgf.NewProjector(eq.Guard, eq.JoinVars)
+		counts := make(map[string]int)
+		sampled := 0
+		for i := 0; i < rel.Size(); i += cfg.SampleEvery {
+			sampled++
+			t := rel.Tuple(i)
+			if matcher.Matches(t) {
+				counts[proj.Apply(t).Key()]++
+			}
+		}
+		if sampled == 0 {
+			continue
+		}
+		threshold := cfg.HeavyFraction * float64(sampled)
+		for k, n := range counts {
+			if float64(n) > threshold {
+				heavy[k] = true
+			}
+		}
+	}
+	return heavy
+}
+
+// saltKey appends a salt byte pair to a shuffle key. Salted keys never
+// collide with unsalted ones because Tuple keys are varint sequences and
+// the suffix changes the length.
+func saltKey(key string, salt int) string {
+	var b [4]byte
+	n := binary.PutUvarint(b[:], uint64(salt))
+	return key + "\xff" + string(b[:n])
+}
+
+// saltOf deterministically spreads a guard tuple id over salts.
+func saltOf(id int64, factor int) int {
+	h := fnv.New32a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(id))
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(factor))
+}
+
+// NewMSJJobSkew builds an MSJ job with heavy-hitter mitigation: for
+// requests whose join key is heavy, the key is salted by the guard
+// tuple id; asserts on a heavy key are replicated to every salt. Keys
+// outside the heavy set behave exactly as in NewMSJJob.
+func NewMSJJobSkew(name string, eqs []Equation, heavy map[string]bool, cfg SkewConfig) (*mr.Job, error) {
+	cfg = cfg.normalized()
+	base, err := NewMSJJob(name, eqs)
+	if err != nil {
+		return nil, err
+	}
+	if len(heavy) == 0 {
+		return base, nil
+	}
+	inner := base.Mapper
+	base.Mapper = mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+		inner.Map(input, id, t, func(key string, msg mr.Message) {
+			if !heavy[key] {
+				emit(key, msg)
+				return
+			}
+			switch m := msg.(type) {
+			case ReqID:
+				emit(saltKey(key, saltOf(m.ID, cfg.SaltFactor)), msg)
+			case Assert:
+				for s := 0; s < cfg.SaltFactor; s++ {
+					emit(saltKey(key, s), msg)
+				}
+			default:
+				emit(key, msg)
+			}
+		})
+	})
+	base.Name = name + "+skew"
+	return base, nil
+}
+
+// SkewAwareBasicPlan is BasicPlan with skew mitigation applied to every
+// MSJ job (the EVAL job's keys are guard-tuple ids and are skew-free by
+// construction).
+func SkewAwareBasicPlan(name string, strategy Strategy, queries []*sgf.BSGF, eqs []Equation, partition [][]int, db *relation.Database, cfg SkewConfig) (*Plan, error) {
+	if !ValidPartition(partition, len(eqs)) {
+		return nil, fmt.Errorf("core: %s: invalid partition over %d equations", name, len(eqs))
+	}
+	heavy := DetectHeavyKeys(cfg, eqs, db)
+	plan := &Plan{Name: name, Strategy: strategy}
+	var msjIdxs []int
+	for gi, group := range partition {
+		if len(group) == 0 {
+			continue
+		}
+		sub := make([]Equation, len(group))
+		for k, i := range group {
+			sub[k] = eqs[i]
+		}
+		job, err := NewMSJJobSkew(fmt.Sprintf("%s/msj%d", name, gi), sub, heavy, cfg)
+		if err != nil {
+			return nil, err
+		}
+		msjIdxs = append(msjIdxs, plan.AddJob(job))
+	}
+	specs := make([]EvalSpec, len(queries))
+	for qi, q := range queries {
+		atoms := q.CondAtoms()
+		xnames := make([]string, len(atoms))
+		for ai := range atoms {
+			xnames[ai] = XName(q.Name, ai)
+		}
+		specs[qi] = EvalSpec{Query: q, XNames: xnames}
+		plan.Outputs = append(plan.Outputs, q.Name)
+	}
+	eval, err := NewEvalJob(name+"/eval", specs)
+	if err != nil {
+		return nil, err
+	}
+	plan.AddJob(eval, msjIdxs...)
+	return plan, nil
+}

@@ -1,0 +1,9 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/mr"
+)
+
+// newTestEngine returns an engine with default constants for tests.
+func newTestEngine() *mr.Engine { return mr.NewEngine(cost.Default()) }

@@ -1,0 +1,142 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelString(t *testing.T) {
+	if Gumbo.String() != "gumbo" || Wang.String() != "wang" {
+		t.Errorf("Model strings: %s %s", Gumbo, Wang)
+	}
+	if Model(9).String() == "" {
+		t.Error("unknown model string empty")
+	}
+}
+
+func TestJobCostPanicsOnUnknownModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Default().JobCost(Model(9), JobSpec{})
+}
+
+func TestZeroConfig(t *testing.T) {
+	c := Zero()
+	if got := c.JobCost(Gumbo, JobSpec{Partitions: []Partition{{InputMB: 10, InterMB: 10}}}); got != 0 {
+		t.Errorf("zero config cost = %v", got)
+	}
+	if c.Scale != 1 {
+		t.Errorf("zero config scale = %v", c.Scale)
+	}
+}
+
+func TestTasksLoadedSkew(t *testing.T) {
+	c := Default()
+	c.TaskOverhead = 0
+	job := JobSpec{
+		Partitions: []Partition{{InputMB: 100, InterMB: 100, Records: 1000}},
+		Reducers:   4,
+	}
+	even := c.TasksLoaded(job, nil)
+	skewed := c.TasksLoaded(job, []float64{70, 10, 10, 10})
+	var evenSum, skewSum, evenMax, skewMax float64
+	for i := range even.ReduceTasks {
+		evenSum += even.ReduceTasks[i]
+		skewSum += skewed.ReduceTasks[i]
+		if even.ReduceTasks[i] > evenMax {
+			evenMax = even.ReduceTasks[i]
+		}
+		if skewed.ReduceTasks[i] > skewMax {
+			skewMax = skewed.ReduceTasks[i]
+		}
+	}
+	if math.Abs(evenSum-skewSum) > 1e-9 {
+		t.Errorf("loads changed total reduce time: %v vs %v", evenSum, skewSum)
+	}
+	if skewMax <= evenMax {
+		t.Errorf("skewed max %v not above even max %v", skewMax, evenMax)
+	}
+	// Mismatched load slice falls back to even division.
+	fallback := c.TasksLoaded(job, []float64{1, 2})
+	if math.Abs(fallback.ReduceTasks[0]-even.ReduceTasks[0]) > 1e-9 {
+		t.Error("mismatched loads did not fall back to even shares")
+	}
+	// All-zero loads fall back too.
+	zeros := c.TasksLoaded(job, []float64{0, 0, 0, 0})
+	if math.Abs(zeros.ReduceTasks[0]-even.ReduceTasks[0]) > 1e-9 {
+		t.Error("zero loads did not fall back to even shares")
+	}
+}
+
+func TestMergeRedEdgeCases(t *testing.T) {
+	c := Default()
+	if c.MergeRed(0, 4) != 0 {
+		t.Error("MergeRed(0) != 0")
+	}
+	if c.MergeRed(100, 0) != 0 {
+		t.Error("MergeRed with 0 reducers != 0")
+	}
+	// Large per-reducer data triggers a merge factor.
+	if c.MergeRed(100000, 4) <= 0 {
+		t.Error("large MergeRed not positive")
+	}
+}
+
+func TestMappersEdge(t *testing.T) {
+	c := Default()
+	c.SplitMB = 0
+	if c.Mappers(1000) != 1 {
+		t.Error("SplitMB=0 should give 1 mapper")
+	}
+	c2 := Default()
+	c2.ReducerDataMB = 0
+	if c2.Reducers(1000) != 1 {
+		t.Error("ReducerDataMB=0 should give 1 reducer")
+	}
+}
+
+func TestScaledIdempotentScaleTracking(t *testing.T) {
+	c := Default().Scaled(0.1).Scaled(0.1)
+	if math.Abs(c.Scale-0.01) > 1e-12 {
+		t.Errorf("Scale = %v, want 0.01", c.Scale)
+	}
+	// A config built without Default (zero Scale) still tracks.
+	var raw Config
+	raw.MergeFactor = 10
+	s := raw.Scaled(0.5)
+	if s.Scale != 0.5 {
+		t.Errorf("Scale from zero config = %v", s.Scale)
+	}
+}
+
+func TestScaleInvarianceOfJobCost(t *testing.T) {
+	// The heart of the paper-equivalent reporting: scaling a job's sizes
+	// and the config by f scales its cost by exactly f.
+	base := Default()
+	job := JobSpec{
+		Partitions: []Partition{
+			{Name: "R", InputMB: 4000, InterMB: 9000, Records: 5e7},
+			{Name: "S", InputMB: 1000, InterMB: 800, Records: 1e7},
+		},
+		OutputMB: 1200,
+	}
+	full := base.JobCost(Gumbo, job)
+	for _, f := range []float64{0.1, 0.01, 0.001} {
+		scaledJob := JobSpec{OutputMB: job.OutputMB * f}
+		for _, p := range job.Partitions {
+			scaledJob.Partitions = append(scaledJob.Partitions, Partition{
+				Name:    p.Name,
+				InputMB: p.InputMB * f,
+				InterMB: p.InterMB * f,
+				Records: int64(float64(p.Records) * f),
+			})
+		}
+		got := base.Scaled(f).JobCost(Gumbo, scaledJob) / f
+		if math.Abs(got-full)/full > 0.001 {
+			t.Errorf("scale %v: paper-equivalent cost %v vs full-scale %v", f, got, full)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestGuardSpecDeterministic(t *testing.T) {
+	a := GuardSpec{Name: "R", Arity: 4, Tuples: 500, Seed: 1}.Generate()
+	b := GuardSpec{Name: "R", Arity: 4, Tuples: 500, Seed: 1}.Generate()
+	if !a.Equal(b) {
+		t.Error("same seed produced different relations")
+	}
+	c := GuardSpec{Name: "R", Arity: 4, Tuples: 500, Seed: 2}.Generate()
+	if a.Equal(c) {
+		t.Error("different seeds produced identical relations")
+	}
+}
+
+func TestGuardSpecSizeAndArity(t *testing.T) {
+	r := GuardSpec{Name: "R", Arity: 3, Tuples: 1000, Seed: 7}.Generate()
+	if r.Size() != 1000 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if r.Arity() != 3 {
+		t.Errorf("Arity = %d", r.Arity())
+	}
+}
+
+func TestGuardNameAffectsContent(t *testing.T) {
+	a := GuardSpec{Name: "R", Arity: 2, Tuples: 200, Seed: 1}.Generate()
+	b := GuardSpec{Name: "S", Arity: 2, Tuples: 200, Seed: 1}.Generate()
+	if a.Equal(b) {
+		t.Error("sibling relations with same seed are identical")
+	}
+}
+
+func TestCondMatchFrac(t *testing.T) {
+	guard := GuardSpec{Name: "R", Arity: 4, Tuples: 2000, Domain: 100000, Seed: 3}.Generate()
+	for _, frac := range []float64{0.0, 0.5, 1.0} {
+		cond := CondSpec{
+			Name: "S", Arity: 1, Tuples: 2000,
+			Guard: guard, Col: 0, MatchFrac: frac, Seed: 11,
+		}.Generate()
+		got := CondMatchRate(guard, 0, cond, 0)
+		if math.Abs(got-frac) > 0.06 {
+			t.Errorf("MatchFrac %.1f: realized cond match rate %.3f", frac, got)
+		}
+	}
+}
+
+func TestCondMatchFracCappedUnaryKeepsRate(t *testing.T) {
+	// Guard column with few distinct values: a unary conditional cannot
+	// hold 2000 matching tuples, so the generator shrinks while keeping
+	// the match rate.
+	guard := GuardSpec{Name: "R", Arity: 1, Tuples: 500, Domain: 600, Seed: 3}.Generate()
+	cond := CondSpec{
+		Name: "S", Arity: 1, Tuples: 2000,
+		Guard: guard, Col: 0, MatchFrac: 1.0, Seed: 11,
+	}.Generate()
+	if got := CondMatchRate(guard, 0, cond, 0); got < 0.99 {
+		t.Errorf("capped match rate = %.3f, want 1.0", got)
+	}
+	if cond.Size() > 600 {
+		t.Errorf("capped relation has %d tuples", cond.Size())
+	}
+}
+
+func TestCondCoverFrac(t *testing.T) {
+	guard := GuardSpec{Name: "R", Arity: 4, Tuples: 3000, Seed: 5}.Generate()
+	for _, sel := range []float64{0.1, 0.5, 0.9} {
+		cond := CondSpec{
+			Name: "S", Arity: 1, Tuples: 3000,
+			Guard: guard, Col: 1, CoverFrac: sel, CoverSet: true, Seed: 13,
+		}.Generate()
+		got := MatchRate(guard, 1, cond, 0)
+		if math.Abs(got-sel) > 0.05 {
+			t.Errorf("CoverFrac %.1f: realized guard match rate %.3f", sel, got)
+		}
+	}
+}
+
+func TestCondJoinAtColumn(t *testing.T) {
+	guard := GuardSpec{Name: "R", Arity: 2, Tuples: 500, Seed: 5}.Generate()
+	cond := CondSpec{
+		Name: "S", Arity: 2, Tuples: 500,
+		Guard: guard, Col: 0, JoinAt: 1, MatchFrac: 1.0, Seed: 17,
+	}.Generate()
+	if got := CondMatchRate(guard, 0, cond, 1); got < 0.95 {
+		t.Errorf("JoinAt=1 match rate %.3f", got)
+	}
+}
+
+func TestMatchRateHelpers(t *testing.T) {
+	guard := relation.FromTuples("R", 1, []relation.Tuple{
+		{relation.Value(1)}, {relation.Value(2)}, {relation.Value(3)}, {relation.Value(4)},
+	})
+	cond := relation.FromTuples("S", 1, []relation.Tuple{
+		{relation.Value(1)}, {relation.Value(2)}, {relation.Value(99)},
+	})
+	if got := MatchRate(guard, 0, cond, 0); got != 0.5 {
+		t.Errorf("MatchRate = %v", got)
+	}
+	if got := CondMatchRate(guard, 0, cond, 0); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("CondMatchRate = %v", got)
+	}
+	if MatchRate(relation.New("E", 1), 0, cond, 0) != 0 {
+		t.Error("empty guard MatchRate != 0")
+	}
+	if CondMatchRate(guard, 0, relation.New("E", 1), 0) != 0 {
+		t.Error("empty cond CondMatchRate != 0")
+	}
+}
+
+func TestMissValuesDisjointFromGuardDomain(t *testing.T) {
+	guard := GuardSpec{Name: "R", Arity: 1, Tuples: 100, Seed: 1}.Generate()
+	cond := CondSpec{
+		Name: "S", Arity: 1, Tuples: 100,
+		Guard: guard, Col: 0, MatchFrac: 0, Seed: 2,
+	}.Generate()
+	if got := CondMatchRate(guard, 0, cond, 0); got != 0 {
+		t.Errorf("MatchFrac 0 produced matches: %v", got)
+	}
+}

@@ -1,0 +1,112 @@
+// Package exec runs core.Plans: it executes the plan's MapReduce jobs on
+// the in-process engine (producing exact outputs and measured byte
+// counts), then replays the measured per-task costs through the cluster
+// simulator to obtain the paper's net-time and total-time metrics.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// Runner executes plans under one configuration.
+type Runner struct {
+	Engine  *mr.Engine
+	CostCfg cost.Config
+	Cluster cluster.Config
+}
+
+// NewRunner wires an engine, cost model constants and a simulated
+// cluster together. costCfg is used both by the engine (splits, reducer
+// allocation) and for task-time derivation.
+func NewRunner(costCfg cost.Config, clusterCfg cluster.Config) *Runner {
+	return &Runner{
+		Engine:  mr.NewEngine(costCfg),
+		CostCfg: costCfg,
+		Cluster: clusterCfg,
+	}
+}
+
+// Result is the outcome of running one plan.
+type Result struct {
+	Plan     *core.Plan
+	Outputs  *relation.Database // every relation the plan produced
+	JobStats []mr.JobStats
+	Metrics  mr.Metrics
+	Sim      cluster.Result
+}
+
+// Output returns the relation for the plan's final SGF output (the last
+// declared output), or nil.
+func (r *Result) Output() *relation.Relation {
+	if len(r.Plan.Outputs) == 0 {
+		return nil
+	}
+	return r.Outputs.Relation(r.Plan.Outputs[len(r.Plan.Outputs)-1])
+}
+
+// Run executes the plan against db.
+func (r *Runner) Run(plan *core.Plan, db *relation.Database) (*Result, error) {
+	outputs, stats, err := r.Engine.RunProgram(plan.Program(), db)
+	if err != nil {
+		return nil, fmt.Errorf("exec: plan %s: %w", plan.Name, err)
+	}
+	if len(stats) != len(plan.Jobs) {
+		return nil, fmt.Errorf("exec: plan %s: %d jobs but %d stats", plan.Name, len(plan.Jobs), len(stats))
+	}
+	jobs := make([]cluster.Job, len(stats))
+	scale := r.CostCfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	for i, st := range stats {
+		taskPlan := r.CostCfg.TasksLoaded(st.CostSpec(), st.ReduceLoadMB)
+		// Baseline engine handicaps: slower tasks and extra per-job
+		// startup latency (mr.Job.TimeFactor / ExtraOverheadSec).
+		if f := plan.Jobs[i].TimeFactor; f > 0 && f != 1 {
+			for ti := range taskPlan.MapTasks {
+				taskPlan.MapTasks[ti] *= f
+			}
+			for ti := range taskPlan.ReduceTasks {
+				taskPlan.ReduceTasks[ti] *= f
+			}
+		}
+		taskPlan.Overhead += plan.Jobs[i].ExtraOverheadSec * scale
+		jobs[i] = cluster.Job{
+			Name: st.Name,
+			Plan: taskPlan,
+			Deps: plan.Deps[i],
+		}
+	}
+	sim := cluster.Simulate(r.Cluster, jobs)
+	var m mr.Metrics
+	for _, st := range stats {
+		m.Add(st)
+	}
+	m.NetTime = sim.NetTime
+	m.TotalTime = sim.TotalTime
+	m.Rounds = plan.Rounds()
+	return &Result{
+		Plan:     plan,
+		Outputs:  outputs,
+		JobStats: stats,
+		Metrics:  m,
+		Sim:      sim,
+	}, nil
+}
+
+// ModelledPlanCost prices an executed plan after the fact with measured
+// sizes under the chosen cost model (used by the §5.2 cost-model
+// comparison to rank jobs).
+func (r *Runner) ModelledPlanCost(model cost.Model, res *Result) float64 {
+	total := 0.0
+	for _, st := range res.JobStats {
+		total += r.CostCfg.JobCost(model, st.CostSpec())
+	}
+	return total
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/mr"
+	"repro/internal/relation"
+	"repro/internal/sgf"
+	"repro/internal/workload"
+)
+
+// AblationPacking isolates §5.1 optimization (1): the same GREEDY plan
+// for A3 (all atoms share a join key, the best case for packing) with
+// message packing enabled vs disabled.
+func AblationPacking(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11a",
+		Title:  "Ablation: message packing (A3, grouped MSJ)",
+		Header: []string{"packing", "net", "total", "comm", "records"},
+	}
+	wl := workload.A3()
+	db := wl.Build(cfg.Scale)
+	runner := cfg.runner()
+	est := core.NewEstimator(cfg.CostCfg, cost.Gumbo, db, wl.Program)
+	for _, packing := range []bool{true, false} {
+		plan, err := est.GreedyPlan(fmt.Sprintf("pack=%v", packing), wl.Program.Queries)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range plan.Jobs {
+			j.Packing = packing
+		}
+		res, err := runner.Run(plan, db)
+		if err != nil {
+			return nil, err
+		}
+		var records int64
+		for _, st := range res.JobStats {
+			records += st.Records()
+		}
+		m := cfg.paperMetrics(res.Metrics)
+		t.AddRow(fmt.Sprint(packing), fmtSecs(m.NetTime), fmtSecs(m.TotalTime),
+			fmtGB(m.CommMB), fmt.Sprint(records))
+	}
+	t.AddNote("packing collapses same-key request/assert messages of one map task into one record")
+	return t, nil
+}
+
+// AblationTupleID isolates §5.1 optimization (2): MSJ outputs as guard
+// tuple ids (with a guard re-read in EVAL) vs full-tuple semi-join
+// outputs combined on whole tuples (the unoptimized shape, here built
+// from the baseline building blocks with all engine handicaps removed).
+func AblationTupleID(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11b",
+		Title:  "Ablation: tuple-id references vs full-tuple shuffles (A1, PAR shape)",
+		Header: []string{"mode", "net", "total", "comm"},
+	}
+	wl := workload.A1()
+	db := wl.Build(cfg.Scale)
+	runner := cfg.runner()
+
+	idPlan, err := core.ParPlan("ids", wl.Program.Queries)
+	if err != nil {
+		return nil, err
+	}
+	fullPlan, err := baselines.FullTuplePlan("full", wl.Program.Queries)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		name string
+		plan *core.Plan
+	}{{"tuple ids", idPlan}, {"full tuples", fullPlan}} {
+		res, err := runner.Run(c.plan, db)
+		if err != nil {
+			return nil, err
+		}
+		m := cfg.paperMetrics(res.Metrics)
+		t.AddRow(c.name, fmtSecs(m.NetTime), fmtSecs(m.TotalTime), fmtGB(m.CommMB))
+	}
+	t.AddNote("ids shuffle 12-byte references and re-read the guard in EVAL; full tuples shuffle whole facts and join on them")
+	return t, nil
+}
+
+// AblationReducerAllocation isolates §5.1 optimization (3):
+// intermediate-size-based reducer counts vs Pig-style input-based
+// allocation, on the same Gumbo GREEDY plan.
+func AblationReducerAllocation(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11c",
+		Title:  "Ablation: reducer allocation policy (A1, GREEDY plan)",
+		Header: []string{"policy", "net", "total", "reducers"},
+	}
+	wl := workload.A1()
+	db := wl.Build(cfg.Scale)
+	runner := cfg.runner()
+	est := core.NewEstimator(cfg.CostCfg, cost.Gumbo, db, wl.Program)
+	for _, c := range []struct {
+		name      string
+		fromInput bool
+	}{{"intermediate-based (Gumbo)", false}, {"input-based 1GB (Pig)", true}} {
+		plan, err := est.GreedyPlan(c.name, wl.Program.Queries)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range plan.Jobs {
+			j.ReducersFromInput = c.fromInput
+			if c.fromInput {
+				j.ReducerInputMB = 1024
+			}
+		}
+		res, err := runner.Run(plan, db)
+		if err != nil {
+			return nil, err
+		}
+		reducers := 0
+		for _, st := range res.JobStats {
+			reducers += st.Reducers
+		}
+		m := cfg.paperMetrics(res.Metrics)
+		t.AddRow(c.name, fmtSecs(m.NetTime), fmtSecs(m.TotalTime), fmt.Sprint(reducers))
+	}
+	return t, nil
+}
+
+// AblationSkew exercises the §6 skew extension: a guard with one heavy
+// join value evaluated by the plain MSJ plan vs the heavy-hitter-aware
+// salted plan. The per-reducer load accounting makes the hot reducer
+// visible in net time.
+func AblationSkew(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11d",
+		Title:  "Ablation: heavy-hitter mitigation (skewed guard, 40% hot key)",
+		Header: []string{"mode", "net", "total", "max reducer load", "imbalance"},
+	}
+	db := skewedDatabase(int(float64(workload.PaperGuardTuples)*cfg.Scale), 0.4, 11)
+	prog := sgf.MustParse(`Z := SELECT x, y FROM R(x, y) WHERE S(x);`)
+	eqs := core.ExtractEquations(prog.Queries)
+	runner := cfg.runner()
+	plain, err := core.BasicPlan("plain", core.StrategyGreedy, prog.Queries, eqs, core.OneGroup(len(eqs)))
+	if err != nil {
+		return nil, err
+	}
+	salted, err := core.SkewAwareBasicPlan("salted", core.StrategyGreedy, prog.Queries, eqs,
+		core.OneGroup(len(eqs)), db, core.DefaultSkewConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		name string
+		plan *core.Plan
+	}{{"plain MSJ", plain}, {"salted MSJ", salted}} {
+		res, err := runner.Run(c.plan, db)
+		if err != nil {
+			return nil, err
+		}
+		msj := res.JobStats[0]
+		m := cfg.paperMetrics(res.Metrics)
+		t.AddRow(c.name, fmtSecs(m.NetTime), fmtSecs(m.TotalTime),
+			fmt.Sprintf("%.1fMB", msj.MaxReduceLoadMB()),
+			fmt.Sprintf("%.2fx", msj.ReduceImbalance()))
+	}
+	t.AddNote("salting spreads a heavy key's requests over sub-keys and replicates the small asserts (§6)")
+	return t, nil
+}
+
+// AblationDynamic compares static Greedy-SGF planning against the
+// dynamic re-planning strategy of §4.6's closing note on the C2 query
+// set.
+func AblationDynamic(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11e",
+		Title:  "Ablation: static Greedy-SGF vs dynamic re-planning (C2)",
+		Header: []string{"mode", "net", "total", "jobs"},
+	}
+	wl := workload.C2()
+	db := wl.Build(cfg.Scale)
+	runner := cfg.runner()
+	est := core.NewEstimator(cfg.CostCfg, cost.Gumbo, db, wl.Program)
+	static, err := est.GreedySGFPlan("static", wl.Program)
+	if err != nil {
+		return nil, err
+	}
+	sres, err := runner.Run(static, db)
+	if err != nil {
+		return nil, err
+	}
+	dres, err := runner.RunDynamicSGF(wl.Program, db)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		name string
+		m    mr.Metrics
+		jobs int
+	}{
+		{"static GREEDY-SGF", sres.Metrics, len(sres.JobStats)},
+		{"dynamic re-planning", dres.Metrics, len(dres.JobStats)},
+	} {
+		m := cfg.paperMetrics(c.m)
+		t.AddRow(c.name, fmtSecs(m.NetTime), fmtSecs(m.TotalTime), fmt.Sprint(c.jobs))
+	}
+	t.AddNote("dynamic planning re-runs Greedy-SGF after each group against materialized intermediate sizes")
+	return t, nil
+}
+
+// skewedDatabase builds the skewed guard + conditional pair used by the
+// skew ablation.
+func skewedDatabase(n int, hotShare float64, seed int64) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	guard := relation.New("R", 2)
+	hot := relation.Value(7)
+	id := int64(0)
+	for guard.Size() < n {
+		id++
+		x := hot
+		if rng.Float64() >= hotShare {
+			x = relation.Value(100 + rng.Int63n(int64(n)*4))
+		}
+		guard.Add(relation.Tuple{x, relation.Value(id)})
+	}
+	cond := relation.New("S", 1)
+	cond.Add(relation.Tuple{hot})
+	for cond.Size() < n/10+1 {
+		cond.Add(relation.Tuple{relation.Value(100 + rng.Int63n(int64(n)*4))})
+	}
+	db := relation.NewDatabase()
+	db.Put(guard)
+	db.Put(cond)
+	return db
+}
+
+// Ablations runs all ablation tables and concatenates them.
+func Ablations(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Ablations of Gumbo's design choices",
+		Header: []string{"ablation", "variant", "net", "total", "detail"},
+	}
+	type runner func(Config) (*Table, error)
+	for _, sub := range []runner{AblationPacking, AblationTupleID, AblationReducerAllocation, AblationSkew, AblationDynamic} {
+		st, err := sub(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range st.Rows {
+			detail := ""
+			if len(row) > 3 {
+				detail = row[len(row)-1]
+			}
+			t.AddRow(st.ID, row[0], row[1], row[2], detail)
+		}
+		t.Notes = append(t.Notes, st.ID+": "+st.Title)
+	}
+	return t, nil
+}

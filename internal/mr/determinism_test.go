@@ -1,0 +1,84 @@
+package mr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// TestDeterminismAcrossParallelism verifies that outputs and every
+// measured statistic are identical whatever the host parallelism: the
+// simulated metrics must not depend on how the engine happens to
+// schedule goroutines.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	var tuples []relation.Tuple
+	for i := int64(0); i < 3000; i++ {
+		tuples = append(tuples, tup(i, i%17))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples))
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{tup(0), tup(3), tup(9)}))
+
+	var baseline string
+	var baseOut *relation.Relation
+	for _, workers := range []int{1, 2, 8} {
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.Parallelism = workers
+		out, stats, err := e.RunJob(semijoinJob(true), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := fmt.Sprintf("%s|loads=%v", stats, stats.ReduceLoadMB)
+		if baseline == "" {
+			baseline = sig
+			baseOut = out.Relation("Z")
+			continue
+		}
+		if sig != baseline {
+			t.Errorf("workers=%d: stats differ:\n%s\nvs\n%s", workers, sig, baseline)
+		}
+		if !out.Relation("Z").Equal(baseOut) {
+			t.Errorf("workers=%d: output differs", workers)
+		}
+	}
+}
+
+// TestReduceLoadAccounting checks that per-reducer loads sum to the
+// intermediate volume and that a skewed key concentrates load.
+func TestReduceLoadAccounting(t *testing.T) {
+	var tuples []relation.Tuple
+	for i := int64(0); i < 5000; i++ {
+		key := i % 50
+		if i%2 == 0 {
+			key = 7 // heavy key
+		}
+		tuples = append(tuples, tup(i, key))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples))
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{tup(7)}))
+	e := NewEngine(cost.Default().Scaled(0.0002))
+	_, stats, err := e.RunJob(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, l := range stats.ReduceLoadMB {
+		sum += l
+	}
+	if diff := sum - stats.InterMB(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("reduce loads sum %v != intermediate %v", sum, stats.InterMB())
+	}
+	if stats.Reducers > 2 && stats.ReduceImbalance() < 1.5 {
+		t.Errorf("expected skewed loads, imbalance = %v (r=%d)", stats.ReduceImbalance(), stats.Reducers)
+	}
+}
+
+// TestKeyBytesMinimum covers the KeyBytes floor.
+func TestKeyBytesMinimum(t *testing.T) {
+	if KeyBytes("") != 2 || KeyBytes("a") != 2 || KeyBytes("abc") != 3 {
+		t.Errorf("KeyBytes floor wrong: %d %d %d", KeyBytes(""), KeyBytes("a"), KeyBytes("abc"))
+	}
+}

@@ -1,0 +1,337 @@
+package mr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// Engine executes jobs. It is safe for concurrent use by independent
+// jobs, though typical callers run jobs of one program sequentially (the
+// cluster simulator, not host concurrency, models parallel net time).
+type Engine struct {
+	Cost        cost.Config
+	Parallelism int // worker goroutines per phase; 0 = GOMAXPROCS
+	SampleEvery int // stride for Sample; 0 = 100
+}
+
+// NewEngine returns an engine with the given cost configuration.
+func NewEngine(c cost.Config) *Engine { return &Engine{Cost: c} }
+
+func (e *Engine) workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// record is one map output record: a key and a (possibly packed) message.
+type record struct {
+	key string
+	msg Message
+}
+
+// mapTaskResult is the output of one map task.
+type mapTaskResult struct {
+	records []record
+	bytes   int64 // modelled record bytes (keys + payloads)
+}
+
+// RunJob executes the job against db and returns its output relations
+// and measured statistics.
+func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, JobStats, error) {
+	if job.Mapper == nil || job.Reducer == nil {
+		return nil, JobStats{}, fmt.Errorf("mr: job %s lacks a mapper or reducer", job.Name)
+	}
+	inflate := job.InflateIntermediate
+	if inflate <= 0 {
+		inflate = 1.0
+	}
+	stats := JobStats{Name: job.Name}
+
+	// ---- Map phase ----
+	type taskSpec struct {
+		input    string
+		partIdx  int
+		rel      *relation.Relation
+		from, to int // tuple range
+	}
+	var tasks []taskSpec
+	for _, name := range job.Inputs {
+		rel := db.Relation(name)
+		if rel == nil {
+			return nil, JobStats{}, fmt.Errorf("mr: job %s: unknown input relation %q", job.Name, name)
+		}
+		inputMB := float64(rel.Bytes()) / MB
+		m := e.Cost.Mappers(inputMB)
+		if m > rel.Size() && rel.Size() > 0 {
+			m = rel.Size()
+		}
+		if rel.Size() == 0 {
+			m = 1
+		}
+		partIdx := len(stats.Parts)
+		stats.Parts = append(stats.Parts, PartStats{Input: name, InputMB: inputMB, Mappers: m})
+		n := rel.Size()
+		for t := 0; t < m; t++ {
+			from := n * t / m
+			to := n * (t + 1) / m
+			tasks = append(tasks, taskSpec{input: name, partIdx: partIdx, rel: rel, from: from, to: to})
+		}
+	}
+	results := make([]mapTaskResult, len(tasks))
+	if err := parallelFor(e.workers(), len(tasks), func(ti int) error {
+		ts := tasks[ti]
+		var recs []record
+		emit := func(key string, msg Message) {
+			recs = append(recs, record{key: key, msg: msg})
+		}
+		for i := ts.from; i < ts.to; i++ {
+			job.Mapper.Map(ts.input, i, ts.rel.Tuple(i), emit)
+		}
+		if job.Packing {
+			recs = packRecords(recs)
+		}
+		var bytes int64
+		for _, r := range recs {
+			bytes += KeyBytes(r.key) + r.msg.SizeBytes()
+		}
+		results[ti] = mapTaskResult{records: recs, bytes: bytes}
+		return nil
+	}); err != nil {
+		return nil, JobStats{}, err
+	}
+	for ti, ts := range tasks {
+		p := &stats.Parts[ts.partIdx]
+		p.InterMB += float64(results[ti].bytes) / MB * inflate
+		p.Records += int64(len(results[ti].records))
+	}
+	stats.MapTasks = len(tasks)
+
+	// ---- Reducer count (§5.1 optimization (3)) ----
+	reducers := job.Reducers
+	if reducers <= 0 {
+		perReducer := e.Cost.ReducerDataMB
+		if job.ReducerInputMB > 0 {
+			// ReducerInputMB is expressed at full scale (Pig's 1 GB of
+			// map input per reducer); convert to the running scale.
+			scale := e.Cost.Scale
+			if scale <= 0 {
+				scale = 1
+			}
+			perReducer = job.ReducerInputMB * scale
+		}
+		basis := stats.InterMB()
+		if job.ReducersFromInput {
+			basis = stats.InputMB()
+		}
+		if perReducer <= 0 {
+			reducers = 1
+		} else {
+			tmp := e.Cost
+			tmp.ReducerDataMB = perReducer
+			reducers = tmp.Reducers(basis)
+		}
+	}
+	if reducers < 1 {
+		reducers = 1
+	}
+	stats.Reducers = reducers
+	stats.ReduceTasks = reducers
+
+	// ---- Shuffle: partition records by key hash, in map-task order ----
+	partitions := make([][]record, reducers)
+	loads := make([]int64, reducers)
+	for _, res := range results {
+		for _, r := range res.records {
+			p := int(hashKey(r.key) % uint32(reducers))
+			partitions[p] = append(partitions[p], r)
+			loads[p] += KeyBytes(r.key) + r.msg.SizeBytes()
+		}
+	}
+	stats.ReduceLoadMB = make([]float64, reducers)
+	for i, l := range loads {
+		stats.ReduceLoadMB[i] = float64(l) / MB * inflate
+	}
+
+	// ---- Reduce phase ----
+	outs := make([]*Output, reducers)
+	if err := parallelFor(e.workers(), reducers, func(ri int) error {
+		out := newOutput(job.Outputs)
+		outs[ri] = out
+		groups := make(map[string][]Message)
+		var keys []string
+		for _, r := range partitions[ri] {
+			msgs, seen := groups[r.key]
+			if !seen {
+				keys = append(keys, r.key)
+			}
+			if packed, ok := r.msg.(Packed); ok {
+				msgs = append(msgs, packed.Msgs...)
+			} else {
+				msgs = append(msgs, r.msg)
+			}
+			groups[r.key] = msgs
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			job.Reducer.Reduce(k, groups[k], out)
+		}
+		return nil
+	}); err != nil {
+		return nil, JobStats{}, err
+	}
+
+	// ---- Merge outputs deterministically, compute K ----
+	outDB := relation.NewDatabase()
+	for _, name := range outputOrder(job.Outputs) {
+		merged := relation.New(name, job.Outputs[name])
+		for _, o := range outs {
+			if r := o.rels[name]; r != nil {
+				for _, t := range r.Tuples() {
+					merged.Add(t)
+				}
+			}
+		}
+		outDB.Put(merged)
+		stats.OutputMB += float64(merged.Bytes()) / MB
+	}
+	return outDB, stats, nil
+}
+
+// outputOrder returns declared output names sorted for determinism.
+func outputOrder(outputs map[string]int) []string {
+	names := make([]string, 0, len(outputs))
+	for n := range outputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// packRecords groups same-key records of one map task into single packed
+// records, preserving first-occurrence key order.
+func packRecords(recs []record) []record {
+	groups := make(map[string][]Message, len(recs))
+	var order []string
+	for _, r := range recs {
+		if _, seen := groups[r.key]; !seen {
+			order = append(order, r.key)
+		}
+		groups[r.key] = append(groups[r.key], r.msg)
+	}
+	out := make([]record, 0, len(order))
+	for _, k := range order {
+		msgs := groups[k]
+		if len(msgs) == 1 {
+			out = append(out, record{key: k, msg: msgs[0]})
+		} else {
+			out = append(out, record{key: k, msg: Packed{Msgs: msgs}})
+		}
+	}
+	return out
+}
+
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}
+
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines and returns
+// the first error.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		err  error
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			if err != nil || next >= n {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+			if e := fn(i); e != nil {
+				mu.Lock()
+				if err == nil {
+					err = e
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return err
+}
+
+// Sample runs the job's mapper over every SampleEvery-th tuple of each
+// input and extrapolates the intermediate size per input: the sampling
+// step Gumbo uses to estimate M_i before running a job (§5.1 opt (3)).
+func (e *Engine) Sample(job *Job, db *relation.Database) ([]PartStats, error) {
+	stride := e.SampleEvery
+	if stride <= 0 {
+		stride = 100
+	}
+	var parts []PartStats
+	for _, name := range job.Inputs {
+		rel := db.Relation(name)
+		if rel == nil {
+			return nil, fmt.Errorf("mr: sample: unknown input relation %q", name)
+		}
+		var recs []record
+		emit := func(key string, msg Message) { recs = append(recs, record{key, msg}) }
+		sampled := 0
+		for i := 0; i < rel.Size(); i += stride {
+			job.Mapper.Map(name, i, rel.Tuple(i), emit)
+			sampled++
+		}
+		var bytes int64
+		for _, r := range recs {
+			bytes += KeyBytes(r.key) + r.msg.SizeBytes()
+		}
+		scale := 0.0
+		if sampled > 0 {
+			scale = float64(rel.Size()) / float64(sampled)
+		}
+		inputMB := float64(rel.Bytes()) / MB
+		parts = append(parts, PartStats{
+			Input:   name,
+			InputMB: inputMB,
+			InterMB: float64(bytes) / MB * scale,
+			Records: int64(float64(len(recs)) * scale),
+			Mappers: e.Cost.Mappers(inputMB),
+		})
+	}
+	return parts, nil
+}

@@ -1,0 +1,369 @@
+package mr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// intMsg is a trivial message for tests.
+type intMsg int64
+
+func (m intMsg) SizeBytes() int64 { return 8 }
+
+func tup(vals ...int64) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.Value(v)
+	}
+	return t
+}
+
+func testDB() *relation.Database {
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, []relation.Tuple{
+		tup(1, 10), tup(2, 20), tup(3, 10), tup(4, 30),
+	}))
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{
+		tup(10), tup(30), tup(99),
+	}))
+	return db
+}
+
+// semijoinJob builds a repartition semi-join R(x,y) ⋉ S(y) as in §4.1.
+func semijoinJob(packing bool) *Job {
+	return &Job{
+		Name:    "semijoin",
+		Inputs:  []string{"R", "S"},
+		Outputs: map[string]int{"Z": 2},
+		Packing: packing,
+		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+			switch input {
+			case "R":
+				emit(relation.Tuple{t[1]}.Key(), intMsg(int64(id)+1000))
+			case "S":
+				emit(relation.Tuple{t[0]}.Key(), intMsg(-1))
+			}
+		}),
+		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
+			hasAssert := false
+			for _, m := range msgs {
+				if m.(intMsg) == -1 {
+					hasAssert = true
+					break
+				}
+			}
+			if !hasAssert {
+				return
+			}
+			for _, m := range msgs {
+				if v := m.(intMsg); v >= 1000 {
+					out.Add("Z", tup(int64(v)-1000, 0))
+				}
+			}
+		}),
+	}
+}
+
+func TestRunJobSemiJoin(t *testing.T) {
+	e := NewEngine(cost.Default())
+	out, stats, err := e.RunJob(semijoinJob(false), testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := out.Relation("Z")
+	// R tuples with y ∈ S: ids 0 (y=10), 2 (y=10), 3 (y=30).
+	want := relation.FromTuples("Z", 2, []relation.Tuple{tup(0, 0), tup(2, 0), tup(3, 0)})
+	if !z.Equal(want) {
+		t.Errorf("Z = %s, want %s", z.Dump(), want.Dump())
+	}
+	if len(stats.Parts) != 2 {
+		t.Fatalf("parts = %d", len(stats.Parts))
+	}
+	if stats.Parts[0].Records != 4 || stats.Parts[1].Records != 3 {
+		t.Errorf("record counts = %+v", stats.Parts)
+	}
+	if stats.InterMB() <= 0 || stats.InputMB() <= 0 {
+		t.Errorf("byte accounting zero: %+v", stats)
+	}
+}
+
+func TestRunJobDeterministic(t *testing.T) {
+	e := NewEngine(cost.Default())
+	db := testDB()
+	_, s1, err := e.RunJob(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, s2, err := e.RunJob(semijoinJob(false), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("stats differ across runs:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestPackingReducesRecordsAndBytes(t *testing.T) {
+	// Many tuples share few keys: packing shrinks records and bytes but
+	// must not change the output.
+	var tuples []relation.Tuple
+	for i := int64(0); i < 500; i++ {
+		tuples = append(tuples, tup(i, i%5))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples))
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{tup(0), tup(1)}))
+
+	e := NewEngine(cost.Default())
+	e.Parallelism = 1 // one map task per split; splits are size-based
+	outPlain, statsPlain, err := e.RunJob(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPacked, statsPacked, err := e.RunJob(semijoinJob(true), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outPlain.Relation("Z").Equal(outPacked.Relation("Z")) {
+		t.Error("packing changed the job output")
+	}
+	if statsPacked.Records() >= statsPlain.Records() {
+		t.Errorf("packing did not reduce records: %d vs %d", statsPacked.Records(), statsPlain.Records())
+	}
+	if statsPacked.InterMB() >= statsPlain.InterMB() {
+		t.Errorf("packing did not reduce bytes: %v vs %v", statsPacked.InterMB(), statsPlain.InterMB())
+	}
+}
+
+func TestReducerCountFromIntermediate(t *testing.T) {
+	e := NewEngine(cost.Default().Scaled(0.0001)) // tiny buffers: forces multiple reducers
+	_, stats, err := e.RunJob(semijoinJob(false), testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reducers < 1 {
+		t.Errorf("Reducers = %d", stats.Reducers)
+	}
+	fixed := semijoinJob(false)
+	fixed.Reducers = 7
+	_, stats2, err := e.RunJob(fixed, testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Reducers != 7 {
+		t.Errorf("fixed Reducers = %d, want 7", stats2.Reducers)
+	}
+}
+
+func TestReducersFromInputPigPolicy(t *testing.T) {
+	e := NewEngine(cost.Default())
+	job := semijoinJob(false)
+	job.ReducersFromInput = true
+	job.ReducerInputMB = 0.00001 // absurdly small per-reducer input
+	_, stats, err := e.RunJob(job, testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reducers < 2 {
+		t.Errorf("input-based allocation gave %d reducers", stats.Reducers)
+	}
+}
+
+func TestInflateIntermediate(t *testing.T) {
+	e := NewEngine(cost.Default())
+	plain, stats1, err := e.RunJob(semijoinJob(false), testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := semijoinJob(false)
+	job.InflateIntermediate = 2.0
+	inflated, stats2, err := e.RunJob(job, testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Relation("Z").Equal(inflated.Relation("Z")) {
+		t.Error("inflation changed output")
+	}
+	ratio := stats2.InterMB() / stats1.InterMB()
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("inflation ratio = %v", ratio)
+	}
+}
+
+func TestUnknownInputRelation(t *testing.T) {
+	e := NewEngine(cost.Default())
+	job := semijoinJob(false)
+	job.Inputs = []string{"R", "Missing"}
+	if _, _, err := e.RunJob(job, testDB()); err == nil || !strings.Contains(err.Error(), "Missing") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUndeclaredOutputPanics(t *testing.T) {
+	e := NewEngine(cost.Default())
+	job := &Job{
+		Name:    "bad",
+		Inputs:  []string{"R"},
+		Outputs: map[string]int{"Z": 1},
+		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+			emit("k", intMsg(1))
+		}),
+		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
+			out.Add("Undeclared", tup(1))
+		}),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undeclared output did not panic")
+		}
+	}()
+	e.RunJob(job, testDB())
+}
+
+func TestEmptyInputRelation(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Put(relation.New("R", 2))
+	db.Put(relation.New("S", 1))
+	e := NewEngine(cost.Default())
+	out, stats, err := e.RunJob(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Relation("Z").Size() != 0 {
+		t.Error("empty input produced output")
+	}
+	if stats.MapTasks < 2 {
+		t.Errorf("MapTasks = %d", stats.MapTasks)
+	}
+}
+
+func TestSampleEstimates(t *testing.T) {
+	var tuples []relation.Tuple
+	for i := int64(0); i < 10000; i++ {
+		tuples = append(tuples, tup(i, i%7))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples))
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{tup(0)}))
+	e := NewEngine(cost.Default())
+	parts, err := e.Sample(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := e.RunJob(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mapper is perfectly uniform, so the estimate should be close.
+	estimate := parts[0].InterMB
+	actual := stats.Parts[0].InterMB
+	if estimate < actual*0.9 || estimate > actual*1.1 {
+		t.Errorf("sampled estimate %v vs actual %v", estimate, actual)
+	}
+}
+
+func TestProgramDepsAndRounds(t *testing.T) {
+	j1 := semijoinJob(false) // outputs Z
+	j2 := &Job{
+		Name:    "consume",
+		Inputs:  []string{"Z"},
+		Outputs: map[string]int{"W": 2},
+		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+			emit(t.Key(), intMsg(int64(id)))
+		}),
+		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
+			out.Add("W", relation.TupleFromKey(key))
+		}),
+	}
+	p := &Program{Jobs: []*Job{j1, j2}}
+	deps := p.Deps()
+	if len(deps[0]) != 0 || len(deps[1]) != 1 || deps[1][0] != 0 {
+		t.Errorf("Deps = %v", deps)
+	}
+	if p.Rounds() != 2 {
+		t.Errorf("Rounds = %d", p.Rounds())
+	}
+	e := NewEngine(cost.Default())
+	outs, stats, err := e.RunProgram(p, testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	if !outs.Relation("W").Equal(outs.Relation("Z").Rename("W")) {
+		t.Error("W != Z")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	j := semijoinJob(false)
+	p := &Program{Jobs: []*Job{j}}
+	if err := p.Validate([]string{"R"}); err == nil {
+		t.Error("missing input S accepted")
+	}
+	if err := p.Validate([]string{"R", "S", "Z"}); err == nil {
+		t.Error("overwriting base relation accepted")
+	}
+	if err := p.Validate([]string{"R", "S"}); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	e := NewEngine(cost.Default())
+	_, stats, err := e.RunJob(semijoinJob(false), testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	m.Add(stats)
+	m.Add(stats)
+	if m.Jobs != 2 || m.InputMB != 2*stats.InputMB() {
+		t.Errorf("Metrics = %+v", m)
+	}
+}
+
+func TestCostSpecConversion(t *testing.T) {
+	e := NewEngine(cost.Default())
+	_, stats, err := e.RunJob(semijoinJob(false), testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := stats.CostSpec()
+	if len(spec.Partitions) != 2 || spec.Reducers != stats.Reducers {
+		t.Errorf("CostSpec = %+v", spec)
+	}
+	c := cost.Default()
+	if c.JobCost(cost.Gumbo, spec) <= 0 {
+		t.Error("job cost not positive")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	seen := make([]bool, 100)
+	err := parallelFor(8, 100, func(i int) error {
+		seen[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestPackedSizeBytes(t *testing.T) {
+	p := Packed{Msgs: []Message{intMsg(1), intMsg(2), intMsg(3)}}
+	if p.SizeBytes() != 24 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+}

@@ -1,0 +1,109 @@
+package mr
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Program is a directed acyclic graph of MR jobs (§3.2): jobs are listed
+// in execution order and an edge j → k exists when job k reads a relation
+// that job j outputs. The number of rounds of the program is the length
+// of the longest path.
+type Program struct {
+	Jobs []*Job
+}
+
+// Deps derives, for each job, the indices of the jobs it depends on: the
+// latest earlier job writing each of its inputs.
+func (p *Program) Deps() [][]int {
+	producer := make(map[string]int) // relation name -> job index of latest producer
+	deps := make([][]int, len(p.Jobs))
+	for i, j := range p.Jobs {
+		seen := make(map[int]bool)
+		for _, in := range j.Inputs {
+			if pi, ok := producer[in]; ok && !seen[pi] {
+				seen[pi] = true
+				deps[i] = append(deps[i], pi)
+			}
+		}
+		for out := range j.Outputs {
+			producer[out] = i
+		}
+	}
+	return deps
+}
+
+// Rounds returns the length of the longest dependency chain (the number
+// of rounds of the MR program).
+func (p *Program) Rounds() int {
+	deps := p.Deps()
+	depth := make([]int, len(p.Jobs))
+	max := 0
+	for i := range p.Jobs {
+		d := 1
+		for _, pi := range deps[i] {
+			if depth[pi]+1 > d {
+				d = depth[pi] + 1
+			}
+		}
+		depth[i] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Validate checks that each job's inputs are satisfied by the base
+// database names or earlier jobs, and that no job overwrites a base
+// relation or an earlier job's output.
+func (p *Program) Validate(base []string) error {
+	avail := make(map[string]bool)
+	for _, n := range base {
+		avail[n] = true
+	}
+	for i, j := range p.Jobs {
+		for _, in := range j.Inputs {
+			if !avail[in] {
+				return fmt.Errorf("mr: job %d (%s) reads %q, which no base relation or earlier job provides", i, j.Name, in)
+			}
+		}
+		for out := range j.Outputs {
+			if avail[out] {
+				return fmt.Errorf("mr: job %d (%s) overwrites relation %q", i, j.Name, out)
+			}
+		}
+		for out := range j.Outputs {
+			avail[out] = true
+		}
+	}
+	return nil
+}
+
+// RunProgram executes the jobs in order, feeding outputs forward, and
+// returns the database of all job outputs together with per-job stats.
+// The input database is not modified.
+func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Database, []JobStats, error) {
+	if err := p.Validate(db.Names()); err != nil {
+		return nil, nil, err
+	}
+	working := relation.NewDatabase()
+	for _, r := range db.Relations() {
+		working.Put(r)
+	}
+	outputs := relation.NewDatabase()
+	stats := make([]JobStats, 0, len(p.Jobs))
+	for _, job := range p.Jobs {
+		out, st, err := e.RunJob(job, working)
+		if err != nil {
+			return nil, stats, fmt.Errorf("mr: job %s: %w", job.Name, err)
+		}
+		for _, r := range out.Relations() {
+			working.Put(r)
+			outputs.Put(r)
+		}
+		stats = append(stats, st)
+	}
+	return outputs, stats, nil
+}

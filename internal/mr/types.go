@@ -1,0 +1,155 @@
+// Package mr implements an in-process, deterministic MapReduce engine
+// modelled on Hadoop MR (§3.2, Figure 1): read → map → (combine/pack) →
+// sort → shuffle → merge → reduce → write. Jobs run for real over real
+// relations — outputs are exact — while the engine measures the byte
+// quantities the cost model needs (per-input N_i, M_i, record counts,
+// output K) and the four paper metrics (input bytes, communication
+// bytes; net/total time are derived by internal/cluster from the cost
+// model applied to these measurements).
+//
+// This engine is the substitute for the paper's 10-node Hadoop cluster;
+// see DESIGN.md §1 for the substitution argument.
+package mr
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Message is a map-output value. Implementations must be immutable after
+// emission and must report their modelled serialized size, which drives
+// the intermediate-data accounting (M_i).
+type Message interface {
+	SizeBytes() int64
+}
+
+// Packed is a list of messages sharing one key, produced by the
+// message-packing optimization (§5.1 optimization (1)): all request and
+// assert messages with the same key emitted by one map task are packed
+// into a single record, saving per-record metadata and repeated keys.
+type Packed struct {
+	Msgs []Message
+}
+
+// SizeBytes is the sum of the packed payloads (the key and the record
+// metadata are accounted once at the record level).
+func (p Packed) SizeBytes() int64 {
+	var n int64
+	for _, m := range p.Msgs {
+		n += m.SizeBytes()
+	}
+	return n
+}
+
+// Emit is the map-side output function: key → message.
+type Emit func(key string, msg Message)
+
+// Mapper processes one input fact. The same Mapper instance is used
+// concurrently by multiple map tasks and must be stateless or internally
+// synchronized.
+type Mapper interface {
+	Map(input string, id int, t relation.Tuple, emit Emit)
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(input string, id int, t relation.Tuple, emit Emit)
+
+// Map implements Mapper.
+func (f MapperFunc) Map(input string, id int, t relation.Tuple, emit Emit) { f(input, id, t, emit) }
+
+// Reducer processes one key group. Packed messages are transparently
+// unpacked before Reduce is called. The same Reducer instance is used
+// concurrently by multiple reduce tasks.
+type Reducer interface {
+	Reduce(key string, msgs []Message, out *Output)
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, msgs []Message, out *Output)
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, msgs []Message, out *Output) { f(key, msgs, out) }
+
+// Output collects reducer output facts into named relations. One Output
+// is private to each reduce task; task outputs are merged in task order
+// after the job, keeping runs deterministic.
+type Output struct {
+	arities map[string]int
+	rels    map[string]*relation.Relation
+	order   []string
+}
+
+func newOutput(arities map[string]int) *Output {
+	return &Output{arities: arities, rels: make(map[string]*relation.Relation)}
+}
+
+// Add appends a fact to the named output relation. The relation must be
+// declared in the job's Outputs map.
+func (o *Output) Add(name string, t relation.Tuple) {
+	r, ok := o.rels[name]
+	if !ok {
+		arity, declared := o.arities[name]
+		if !declared {
+			panic(fmt.Sprintf("mr: output relation %q not declared by the job", name))
+		}
+		r = relation.New(name, arity)
+		o.rels[name] = r
+		o.order = append(o.order, name)
+	}
+	r.Add(t)
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name    string
+	Inputs  []string       // names of input relations, each read once
+	Outputs map[string]int // declared output relations: name → arity
+
+	Mapper  Mapper
+	Reducer Reducer
+
+	// Reducers fixes r; 0 derives it from sampled intermediate size per
+	// §5.1 optimization (3).
+	Reducers int
+
+	// Packing enables the message-packing optimization (§5.1 opt (1)).
+	Packing bool
+
+	// ReducerInputMB overrides the per-reducer data allocation used when
+	// deriving the reducer count (0 = engine config). Pig's input-based
+	// allocation (1 GB of *map input* per reducer) is modelled by the
+	// baselines with ReducersFromInput.
+	ReducerInputMB float64
+
+	// ReducersFromInput derives the reducer count from map input size
+	// rather than intermediate size (Pig's allocation policy, §5.2).
+	ReducersFromInput bool
+
+	// InflateIntermediate multiplies modelled intermediate sizes
+	// (serialization overhead of baseline systems; 1.0 = none, 0 = 1.0).
+	InflateIntermediate float64
+
+	// TimeFactor multiplies the derived task durations (execution-speed
+	// handicap of baseline engines; 1.0 = none, 0 = 1.0). It does not
+	// affect byte metrics.
+	TimeFactor float64
+
+	// ExtraOverheadSec adds per-job startup latency in full-scale
+	// seconds (e.g. Hive query compilation); it is multiplied by the
+	// cost configuration's Scale at simulation time.
+	ExtraOverheadSec float64
+}
+
+// KeyBytes is the modelled size of a shuffle key. Keys are encoded
+// tuples (relation.Tuple.Key), whose physical encoding is compact; the
+// cost model charges the same 10 bytes/field the relations use, which we
+// approximate by the actual encoded key length rounded up to at least
+// 2 bytes.
+func KeyBytes(key string) int64 {
+	n := int64(len(key))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BytesPerField is the assumed serialized size of one tuple field, chosen
+// to match the paper's data ratios: a 4-ary guard relation of 100M tuples
+// occupies 4 GB (40 bytes/tuple) and a unary conditional relation of 100M
+// tuples occupies 1 GB (10 bytes/tuple).
+const BytesPerField = 10
+
+// Relation is a named, fixed-arity set of tuples. Relations have set
+// semantics: Add ignores duplicates. Iteration order is insertion order,
+// which keeps runs deterministic.
+type Relation struct {
+	name   string
+	arity  int
+	tuples []Tuple
+	index  map[string]int // Tuple.Key() -> position in tuples
+}
+
+// New returns an empty relation with the given name and arity.
+// Arity must be positive.
+func New(name string, arity int) *Relation {
+	if arity <= 0 {
+		panic(fmt.Sprintf("relation.New: non-positive arity %d for %s", arity, name))
+	}
+	return &Relation{name: name, arity: arity, index: make(map[string]int)}
+}
+
+// FromTuples builds a relation from the given tuples (duplicates removed).
+func FromTuples(name string, arity int, tuples []Tuple) *Relation {
+	r := New(name, arity)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Name returns the relation symbol.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of fields per tuple.
+func (r *Relation) Arity() int { return r.arity }
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Bytes returns the modelled serialized size of the relation in bytes
+// (Size × arity × BytesPerField). This drives the cost model's N_i values.
+func (r *Relation) Bytes() int64 {
+	return int64(len(r.tuples)) * int64(r.arity) * BytesPerField
+}
+
+// TupleBytes returns the modelled serialized size of one tuple of this
+// relation's arity.
+func (r *Relation) TupleBytes() int64 { return int64(r.arity) * BytesPerField }
+
+// Add inserts t, returning true if it was not already present.
+// It panics if the arity does not match.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation %s: adding tuple of arity %d to relation of arity %d", r.name, len(t), r.arity))
+	}
+	k := t.Key()
+	if _, dup := r.index[k]; dup {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Contains reports whether t is present.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Tuple returns the i-th tuple in insertion order.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice in insertion order. The caller
+// must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Each calls fn for every tuple with its stable id (insertion position).
+func (r *Relation) Each(fn func(id int, t Tuple)) {
+	for i, t := range r.tuples {
+		fn(i, t)
+	}
+}
+
+// Clone returns a deep copy of r.
+func (r *Relation) Clone() *Relation {
+	c := New(r.name, r.arity)
+	for _, t := range r.tuples {
+		c.Add(t.Clone())
+	}
+	return c
+}
+
+// Rename returns a shallow view of r under a different name, sharing
+// tuple storage.
+func (r *Relation) Rename(name string) *Relation {
+	return &Relation{name: name, arity: r.arity, tuples: r.tuples, index: r.index}
+}
+
+// Equal reports whether r and o contain exactly the same tuple set
+// (names may differ).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.arity != o.arity || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !o.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the tuples in lexicographic order (a fresh slice).
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// String renders the relation as "Name/arity{n tuples}".
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s/%d{%d tuples}", r.name, r.arity, len(r.tuples))
+}
+
+// Dump renders the full contents, sorted, for debugging and golden tests.
+func (r *Relation) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/%d:\n", r.name, r.arity)
+	for _, t := range r.Sorted() {
+		sb.WriteString("  ")
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Database is a named collection of relations: the paper's DB, a finite
+// set of facts grouped by relation symbol.
+type Database struct {
+	rels  map[string]*Relation
+	order []string // deterministic iteration order (insertion order)
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Put registers rel under its name, replacing any existing relation with
+// the same name.
+func (db *Database) Put(rel *Relation) {
+	if _, exists := db.rels[rel.Name()]; !exists {
+		db.order = append(db.order, rel.Name())
+	}
+	db.rels[rel.Name()] = rel
+}
+
+// Relation returns the relation with the given name, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// Has reports whether a relation with the given name exists.
+func (db *Database) Has(name string) bool {
+	_, ok := db.rels[name]
+	return ok
+}
+
+// Names returns relation names in insertion order.
+func (db *Database) Names() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Relations returns all relations in insertion order.
+func (db *Database) Relations() []*Relation {
+	out := make([]*Relation, 0, len(db.order))
+	for _, n := range db.order {
+		out = append(out, db.rels[n])
+	}
+	return out
+}
+
+// Bytes returns the total modelled size of all relations.
+func (db *Database) Bytes() int64 {
+	var total int64
+	for _, r := range db.rels {
+		total += r.Bytes()
+	}
+	return total
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, n := range db.order {
+		c.Put(db.rels[n].Clone())
+	}
+	return c
+}
+
+// String summarizes the database contents.
+func (db *Database) String() string {
+	var sb strings.Builder
+	sb.WriteString("DB{")
+	for i, n := range db.order {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(db.rels[n].String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := New("R", 2)
+	if !r.Add(mkTuple(1, 2)) {
+		t.Error("first Add returned false")
+	}
+	if r.Add(mkTuple(1, 2)) {
+		t.Error("duplicate Add returned true")
+	}
+	if r.Size() != 1 {
+		t.Errorf("Size = %d, want 1", r.Size())
+	}
+	if !r.Contains(mkTuple(1, 2)) || r.Contains(mkTuple(2, 1)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestRelationArityPanic(t *testing.T) {
+	r := New("R", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	r.Add(mkTuple(1))
+}
+
+func TestNewZeroArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with arity 0 did not panic")
+		}
+	}()
+	New("R", 0)
+}
+
+func TestRelationBytes(t *testing.T) {
+	r := New("R", 4)
+	r.Add(mkTuple(1, 2, 3, 4))
+	r.Add(mkTuple(5, 6, 7, 8))
+	if got := r.Bytes(); got != 2*4*BytesPerField {
+		t.Errorf("Bytes = %d", got)
+	}
+	if got := r.TupleBytes(); got != 4*BytesPerField {
+		t.Errorf("TupleBytes = %d", got)
+	}
+}
+
+func TestRelationEqualIgnoresOrderAndName(t *testing.T) {
+	a := FromTuples("A", 2, []Tuple{mkTuple(1, 2), mkTuple(3, 4)})
+	b := FromTuples("B", 2, []Tuple{mkTuple(3, 4), mkTuple(1, 2)})
+	if !a.Equal(b) {
+		t.Error("same tuple sets reported unequal")
+	}
+	b.Add(mkTuple(5, 6))
+	if a.Equal(b) {
+		t.Error("different tuple sets reported equal")
+	}
+}
+
+func TestRelationCloneIndependent(t *testing.T) {
+	a := FromTuples("A", 1, []Tuple{mkTuple(1)})
+	b := a.Clone()
+	b.Add(mkTuple(2))
+	if a.Size() != 1 || b.Size() != 2 {
+		t.Errorf("clone not independent: %d %d", a.Size(), b.Size())
+	}
+}
+
+func TestRelationRenameSharesData(t *testing.T) {
+	a := FromTuples("A", 1, []Tuple{mkTuple(1)})
+	b := a.Rename("B")
+	if b.Name() != "B" || b.Size() != 1 {
+		t.Errorf("rename wrong: %s %d", b.Name(), b.Size())
+	}
+}
+
+func TestRelationSortedAndDump(t *testing.T) {
+	r := FromTuples("R", 2, []Tuple{mkTuple(3, 1), mkTuple(1, 2), mkTuple(1, 1)})
+	s := r.Sorted()
+	if !s[0].Equal(mkTuple(1, 1)) || !s[2].Equal(mkTuple(3, 1)) {
+		t.Errorf("Sorted = %v", s)
+	}
+	d := r.Dump()
+	if !strings.Contains(d, "R/2") || !strings.Contains(d, "(1, 2)") {
+		t.Errorf("Dump = %q", d)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	db.Put(FromTuples("R", 2, []Tuple{mkTuple(1, 2)}))
+	db.Put(FromTuples("S", 1, []Tuple{mkTuple(1)}))
+	if !db.Has("R") || db.Has("T") {
+		t.Error("Has wrong")
+	}
+	if db.Relation("S").Size() != 1 {
+		t.Error("Relation lookup wrong")
+	}
+	if got := db.Names(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Errorf("Names = %v", got)
+	}
+	if got := db.Bytes(); got != 2*BytesPerField+1*BytesPerField {
+		t.Errorf("Bytes = %d", got)
+	}
+	// Replacing keeps order stable.
+	db.Put(FromTuples("R", 2, []Tuple{mkTuple(9, 9), mkTuple(8, 8)}))
+	if db.Relation("R").Size() != 2 {
+		t.Error("replacement not applied")
+	}
+	if got := db.Names(); got[0] != "R" {
+		t.Errorf("order changed after replace: %v", got)
+	}
+}
+
+func TestDatabaseCloneIndependent(t *testing.T) {
+	db := NewDatabase()
+	db.Put(FromTuples("R", 1, []Tuple{mkTuple(1)}))
+	c := db.Clone()
+	c.Relation("R").Add(mkTuple(2))
+	if db.Relation("R").Size() != 1 {
+		t.Error("clone shares relations")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	r := FromTuples("R", 3, []Tuple{
+		{Int(1), String("bad"), Int(3)},
+		{Int(4), String("good stuff"), Int(6)},
+	})
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV("R", 3, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(back) {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", r.Dump(), back.Dump())
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	_, err := ReadTSV("R", 2, strings.NewReader("1\t2\n3\n"))
+	if err == nil {
+		t.Error("short line accepted")
+	}
+	r, err := ReadTSV("R", 2, strings.NewReader("\n1\t2\n\n"))
+	if err != nil || r.Size() != 1 {
+		t.Errorf("blank lines mishandled: %v %v", r, err)
+	}
+}

@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// Tuple is an ordered sequence of data values: the ā in a fact R(ā).
+type Tuple []Value
+
+// Equal reports whether t and u have the same length and values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically, shorter tuples first on ties.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if t[i] != u[i] {
+			if t[i] < u[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// Key returns a compact byte-string key identifying t, suitable for use as
+// a map key or MapReduce shuffle key. Distinct tuples of the same arity
+// produce distinct keys.
+func (t Tuple) Key() string {
+	var b [10]byte
+	var sb strings.Builder
+	sb.Grow(len(t) * 3)
+	for _, v := range t {
+		n := binary.PutVarint(b[:], int64(v))
+		sb.Write(b[:n])
+	}
+	return sb.String()
+}
+
+// TupleFromKey decodes a key produced by Tuple.Key. It returns nil if the
+// key is malformed.
+func TupleFromKey(key string) Tuple {
+	var t Tuple
+	for len(key) > 0 {
+		v, n := binary.Varint([]byte(key))
+		if n <= 0 {
+			return nil
+		}
+		t = append(t, Value(v))
+		key = key[n:]
+	}
+	return t
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.Text())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Project returns the tuple consisting of t's values at the given
+// positions, in order. It panics on out-of-range positions.
+func (t Tuple) Project(positions []int) Tuple {
+	out := make(Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTuple(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = Value(v)
+	}
+	return t
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := mkTuple(1, 2, 3)
+	b := mkTuple(1, 2, 3)
+	c := mkTuple(1, 2, 4)
+	d := mkTuple(1, 2)
+	if !a.Equal(b) {
+		t.Error("equal tuples reported unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal tuples reported equal")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{mkTuple(1, 2), mkTuple(1, 2), 0},
+		{mkTuple(1, 2), mkTuple(1, 3), -1},
+		{mkTuple(2), mkTuple(1, 9), 1},
+		{mkTuple(1), mkTuple(1, 0), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestTupleKeyRoundTrip(t *testing.T) {
+	tuples := []Tuple{
+		mkTuple(),
+		mkTuple(0),
+		mkTuple(1, 2, 3),
+		{String("bad"), Int(4)},
+		mkTuple(1 << 50),
+	}
+	for _, tp := range tuples {
+		got := TupleFromKey(tp.Key())
+		if len(tp) == 0 {
+			if len(got) != 0 {
+				t.Errorf("empty tuple round trip gave %v", got)
+			}
+			continue
+		}
+		if !got.Equal(tp) {
+			t.Errorf("round trip %v -> %v", tp, got)
+		}
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Distinct same-arity tuples must have distinct keys.
+	seen := make(map[string]Tuple)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		tp := mkTuple(int64(rng.Intn(50)), int64(rng.Intn(50)))
+		k := tp.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(tp) {
+			t.Fatalf("key collision: %v and %v -> %q", prev, tp, k)
+		}
+		seen[k] = tp
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	tp := mkTuple(10, 20, 30, 40)
+	got := tp.Project([]int{3, 0, 0})
+	if !got.Equal(mkTuple(40, 10, 10)) {
+		t.Errorf("Project = %v", got)
+	}
+	if len(tp.Project(nil)) != 0 {
+		t.Error("empty projection not empty")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := mkTuple(1, 2)
+	b := a.Clone()
+	b[0] = Value(9)
+	if a[0] != Value(1) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestQuickTupleKeyRoundTrip(t *testing.T) {
+	f := func(raw []int64) bool {
+		tp := make(Tuple, len(raw))
+		for i, v := range raw {
+			tp[i] = Value(v)
+		}
+		back := TupleFromKey(tp.Key())
+		if len(tp) == 0 {
+			return len(back) == 0
+		}
+		return back.Equal(tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta := make(Tuple, len(a))
+		for i, v := range a {
+			ta[i] = Value(v)
+		}
+		tb := make(Tuple, len(b))
+		for i, v := range b {
+			tb[i] = Value(v)
+		}
+		return ta.Compare(tb) == -tb.Compare(ta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package sgf
+
+import "repro/internal/relation"
+
+// Conforms reports whether the fact rel(t) conforms to atom a (written
+// rel(t) ⊨ a in the paper): the relation symbols and arities match,
+// repeated variables bind equal values, and constant positions match
+// exactly.
+func Conforms(rel string, t relation.Tuple, a Atom) bool {
+	if rel != a.Rel || len(t) != len(a.Args) {
+		return false
+	}
+	return ConformsTuple(t, a)
+}
+
+// ConformsTuple checks conformance of a tuple against an atom's argument
+// pattern, ignoring the relation symbol (the caller has already matched
+// it). Tuples of the wrong arity do not conform.
+func ConformsTuple(t relation.Tuple, a Atom) bool {
+	if len(t) != len(a.Args) {
+		return false
+	}
+	for i, term := range a.Args {
+		if !term.IsVar() {
+			if t[i] != term.Const {
+				return false
+			}
+			continue
+		}
+		// A repeated variable must bind the same value at every
+		// occurrence; compare against its first occurrence.
+		for j := 0; j < i; j++ {
+			if a.Args[j].Var == term.Var {
+				if t[j] != t[i] {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// Project computes π_{a;vars}(t): the projection of a tuple conforming to
+// atom a onto the listed variables (first-occurrence positions). The
+// caller must have checked conformance.
+func Project(t relation.Tuple, a Atom, vars []string) relation.Tuple {
+	return t.Project(a.VarPositions(vars))
+}
+
+// Binding extracts the substitution σ mapping each variable of a to its
+// value in the conforming tuple t.
+func Binding(t relation.Tuple, a Atom) map[string]relation.Value {
+	out := make(map[string]relation.Value)
+	for i, term := range a.Args {
+		if term.IsVar() {
+			out[term.Var] = t[i]
+		}
+	}
+	return out
+}
+
+// Matcher is a compiled conformance test for one atom, avoiding repeated
+// pattern analysis in per-tuple inner loops.
+type Matcher struct {
+	arity  int
+	consts []constCheck
+	eqs    [][2]int // pairs of positions that must hold equal values
+}
+
+type constCheck struct {
+	pos int
+	val relation.Value
+}
+
+// NewMatcher compiles atom a into a Matcher.
+func NewMatcher(a Atom) Matcher {
+	m := Matcher{arity: len(a.Args)}
+	first := make(map[string]int, len(a.Args))
+	for i, term := range a.Args {
+		if !term.IsVar() {
+			m.consts = append(m.consts, constCheck{pos: i, val: term.Const})
+			continue
+		}
+		if j, ok := first[term.Var]; ok {
+			m.eqs = append(m.eqs, [2]int{j, i})
+		} else {
+			first[term.Var] = i
+		}
+	}
+	return m
+}
+
+// Matches reports whether t conforms to the compiled atom pattern.
+func (m Matcher) Matches(t relation.Tuple) bool {
+	if len(t) != m.arity {
+		return false
+	}
+	for _, c := range m.consts {
+		if t[c.pos] != c.val {
+			return false
+		}
+	}
+	for _, e := range m.eqs {
+		if t[e[0]] != t[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Trivial reports whether every same-arity tuple matches (no constants, no
+// repeated variables).
+func (m Matcher) Trivial() bool { return len(m.consts) == 0 && len(m.eqs) == 0 }
+
+// Projector is a precompiled projection π_{a;vars}, avoiding repeated
+// position lookups in inner loops.
+type Projector struct{ positions []int }
+
+// NewProjector compiles the projection of atom a onto vars.
+func NewProjector(a Atom, vars []string) Projector {
+	return Projector{positions: a.VarPositions(vars)}
+}
+
+// Apply projects t. The result is a fresh tuple.
+func (p Projector) Apply(t relation.Tuple) relation.Tuple { return t.Project(p.positions) }
+
+// Arity returns the arity of projected tuples.
+func (p Projector) Arity() int { return len(p.positions) }

@@ -1,0 +1,170 @@
+package sgf
+
+import (
+	"testing"
+)
+
+// example5 is the paper's Example 5 program.
+const example5 = `
+	Q1 := SELECT x, y FROM R1(x, y) WHERE S(x);
+	Q2 := SELECT x, y FROM Q1(x, y) WHERE T(x);
+	Q3 := SELECT x, y FROM Q2(x, y) WHERE U(x);
+	Q4 := SELECT x, y FROM R2(x, y) WHERE T(x);
+	Q5 := SELECT x, y FROM Q3(x, y) WHERE Q4(x, x);`
+
+func TestDepGraphExample5(t *testing.T) {
+	p := MustParse(example5)
+	g := BuildDepGraph(p)
+	// Expected edges: Q1->Q2, Q2->Q3, Q3->Q5, Q4->Q5 (0-indexed).
+	wantSucc := [][]int{{1}, {2}, {4}, {4}, nil}
+	for i, want := range wantSucc {
+		got := g.Succ[i]
+		if len(got) != len(want) {
+			t.Fatalf("Succ[%d] = %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Succ[%d] = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestDepGraphLevels(t *testing.T) {
+	p := MustParse(example5)
+	g := BuildDepGraph(p)
+	levels := g.Levels()
+	want := []int{0, 1, 2, 0, 3}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want[i])
+		}
+	}
+	groups := g.LevelGroups()
+	if len(groups) != 4 {
+		t.Fatalf("LevelGroups = %v", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 3 {
+		t.Errorf("level 0 = %v", groups[0])
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	p := MustParse(example5)
+	g := BuildDepGraph(p)
+	o1 := g.TopoOrder()
+	o2 := g.TopoOrder()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("TopoOrder not deterministic")
+		}
+	}
+	pos := make([]int, g.N)
+	for i, v := range o1 {
+		pos[v] = i
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Succ[u] {
+			if pos[u] >= pos[v] {
+				t.Errorf("edge %d->%d violated in order %v", u, v, o1)
+			}
+		}
+	}
+}
+
+func TestEnumerateMultiwayPartitionsExample5(t *testing.T) {
+	// The paper states there are exactly four possible multiway
+	// topological sorts of Example 5's dependency graph (counted as
+	// partitions; the cost of Eq. 10 is order-insensitive).
+	p := MustParse(example5)
+	g := BuildDepGraph(p)
+	count := 0
+	EnumerateMultiwayPartitions(g, func(s MultiwaySort) bool {
+		count++
+		if !s.Valid(g) {
+			t.Errorf("enumerated invalid sort %v", s)
+		}
+		return true
+	})
+	if count != 4 {
+		t.Errorf("enumerated %d partitions, want 4", count)
+	}
+}
+
+func TestEnumerateMultiwaySortsIndependent(t *testing.T) {
+	// Two independent queries: ordered sorts are ({a,b}), ({a},{b}),
+	// ({b},{a}); as partitions there are two.
+	p := MustParse(`A := SELECT x FROM R(x); B := SELECT x FROM S(x);`)
+	g := BuildDepGraph(p)
+	count := 0
+	EnumerateMultiwaySorts(g, func(s MultiwaySort) bool {
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Errorf("enumerated %d sorts, want 3", count)
+	}
+	parts := 0
+	EnumerateMultiwayPartitions(g, func(s MultiwaySort) bool {
+		parts++
+		return true
+	})
+	if parts != 2 {
+		t.Errorf("enumerated %d partitions, want 2", parts)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := MustParse(`A := SELECT x FROM R(x); B := SELECT x FROM S(x);`)
+	g := BuildDepGraph(p)
+	count := 0
+	EnumerateMultiwaySorts(g, func(s MultiwaySort) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop failed: %d calls", count)
+	}
+}
+
+func TestMultiwaySortValid(t *testing.T) {
+	p := MustParse(example5)
+	g := BuildDepGraph(p)
+	valid := MultiwaySort{{0, 3}, {1}, {2}, {4}}
+	if !valid.Valid(g) {
+		t.Error("paper sort 1 rejected")
+	}
+	// Q2 before Q1 violates Q1->Q2.
+	invalid := MultiwaySort{{1, 3}, {0}, {2}, {4}}
+	if invalid.Valid(g) {
+		t.Error("invalid sort accepted")
+	}
+	// Same group containing an edge.
+	invalid2 := MultiwaySort{{0, 1, 3}, {2}, {4}}
+	if invalid2.Valid(g) {
+		t.Error("sort with intra-group edge accepted")
+	}
+	// Missing node.
+	invalid3 := MultiwaySort{{0, 3}, {1}, {2}}
+	if invalid3.Valid(g) {
+		t.Error("non-covering sort accepted")
+	}
+	// Duplicate node.
+	invalid4 := MultiwaySort{{0, 3}, {1, 1}, {2}, {4}}
+	if invalid4.Valid(g) {
+		t.Error("duplicated node accepted")
+	}
+}
+
+func TestOverlapPaperExample(t *testing.T) {
+	// "the overlap between Q2 and {Q1, Q3, Q4, Q5} is 1 as they share
+	// only relation T".
+	p := MustParse(example5)
+	if got := Overlap(p, 1, []int{0, 2, 3, 4}); got != 1 {
+		t.Errorf("Overlap = %d, want 1", got)
+	}
+	// Q1 and {Q4}: no shared body relations (R1,S vs R2,T).
+	if got := Overlap(p, 0, []int{3}); got != 0 {
+		t.Errorf("Overlap(Q1,{Q4}) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,212 @@
+package sgf
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString // quoted string constant
+	tokAssign // :=
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokSelect
+	tokFrom
+	tokWhere
+	tokAnd
+	tokOr
+	tokNot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokAssign:
+		return "':='"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokSelect:
+		return "SELECT"
+	case tokFrom:
+		return "FROM"
+	case tokWhere:
+		return "WHERE"
+	case tokAnd:
+		return "AND"
+	case tokOr:
+		return "OR"
+	case tokNot:
+		return "NOT"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+var keywords = map[string]tokenKind{
+	"SELECT": tokSelect,
+	"FROM":   tokFrom,
+	"WHERE":  tokWhere,
+	"AND":    tokAnd,
+	"OR":     tokOr,
+	"NOT":    tokNot,
+}
+
+// lexer turns SGF query text into tokens. Keywords are case-insensitive;
+// identifiers are case-sensitive. Comments run from "--" or "#" to end of
+// line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("sgf: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			l.skipLine()
+		case r == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '=' {
+			return token{}, l.errorf("expected '=' after ':'")
+		}
+		l.advance()
+		return token{kind: tokAssign, text: ":=", line: line, col: col}, nil
+	case r == '"' || r == '\'':
+		quote := l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			c := l.advance()
+			if c == quote {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		return token{kind: tokInt, text: sb.String(), line: line, col: col}, nil
+	case isIdentStart(r):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		if kind, ok := keywords[strings.ToUpper(text)]; ok {
+			return token{kind: kind, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line, col: col}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", r)
+	}
+}

@@ -1,0 +1,133 @@
+package sgf
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lexAll(t, `Z := SELECT x FROM R(x, 42) WHERE NOT S("a b");`)
+	kinds := []tokenKind{
+		tokIdent, tokAssign, tokSelect, tokIdent, tokFrom, tokIdent,
+		tokLParen, tokIdent, tokComma, tokInt, tokRParen, tokWhere,
+		tokNot, tokIdent, tokLParen, tokString, tokRParen, tokSemi,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d: kind %v, want %v (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lexAll(t, "Z :=\n  SELECT x FROM R(x);")
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[2].line != 2 {
+		t.Errorf("SELECT at line %d, want 2", toks[2].line)
+	}
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks := lexAll(t, `Z := SELECT x FROM R(x, "a\"b");`)
+	var str *token
+	for i := range toks {
+		if toks[i].kind == tokString {
+			str = &toks[i]
+		}
+	}
+	if str == nil || str.text != `a"b` {
+		t.Fatalf("escaped string = %v", str)
+	}
+}
+
+func TestLexerUnicodeIdent(t *testing.T) {
+	toks := lexAll(t, `Zé := SELECT π FROM Rel_1(π);`)
+	if toks[0].text != "Zé" || toks[3].text != "π" {
+		t.Errorf("unicode identifiers mishandled: %q %q", toks[0].text, toks[3].text)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"Z : x", "@", `"unterminated`} {
+		l := newLexer(src)
+		ok := true
+		for i := 0; i < 10 && ok; i++ {
+			tok, err := l.next()
+			if err != nil {
+				ok = false
+				if !strings.Contains(err.Error(), "sgf:") {
+					t.Errorf("error %q lacks prefix", err)
+				}
+			}
+			if tok.kind == tokEOF {
+				break
+			}
+		}
+		if ok {
+			t.Errorf("no lex error for %q", src)
+		}
+	}
+}
+
+func TestConditionPrinterNesting(t *testing.T) {
+	// NOT over a compound needs parentheses; AND inside OR does not add
+	// extra parens beyond what precedence requires.
+	s := AtomCond{NewAtom("S", V("x"))}
+	u := AtomCond{NewAtom("U", V("x"))}
+	v := AtomCond{NewAtom("V", V("x"))}
+	cases := []struct {
+		c    Condition
+		want string
+	}{
+		{Not{C: OrOf(s, u)}, "NOT (S(x) OR U(x))"},
+		{Not{C: s}, "NOT S(x)"},
+		{AndOf(OrOf(s, u), v), "(S(x) OR U(x)) AND V(x)"},
+		// The printer parenthesizes AND under OR explicitly (redundant
+		// under precedence, but unambiguous to read).
+		{OrOf(AndOf(s, u), v), "(S(x) AND U(x)) OR V(x)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+		// Round trip: reparse inside a query and compare semantics on
+		// all truth assignments.
+		src := "Z := SELECT x FROM R(x) WHERE " + c.c.String() + ";"
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", src, err)
+		}
+		back := p.Queries[0].Where
+		for mask := 0; mask < 8; mask++ {
+			truth := map[string]bool{
+				s.Atom.Key(): mask&1 != 0,
+				u.Atom.Key(): mask&2 != 0,
+				v.Atom.Key(): mask&4 != 0,
+			}
+			if EvalCondition(c.c, truth) != EvalCondition(back, truth) {
+				t.Errorf("round trip changed semantics of %q", c.want)
+			}
+		}
+	}
+}

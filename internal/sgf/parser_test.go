@@ -1,0 +1,186 @@
+package sgf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleQuery(t *testing.T) {
+	p := MustParse(`Z := SELECT x, y FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));`)
+	if len(p.Queries) != 1 {
+		t.Fatalf("got %d queries", len(p.Queries))
+	}
+	q := p.Queries[0]
+	if q.Name != "Z" {
+		t.Errorf("Name = %q", q.Name)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "x" || q.Select[1] != "y" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if q.Guard.Rel != "R" || q.Guard.Arity() != 2 {
+		t.Errorf("Guard = %v", q.Guard)
+	}
+	atoms := q.CondAtoms()
+	if len(atoms) != 3 {
+		t.Fatalf("CondAtoms = %v", atoms)
+	}
+	if atoms[0].Rel != "S" || atoms[1].Rel != "T" || atoms[2].Rel != "U" {
+		t.Errorf("atom order = %v", atoms)
+	}
+}
+
+func TestParseParenthesizedSelect(t *testing.T) {
+	p := MustParse(`Z := SELECT (x, y) FROM R(x, y, 4) WHERE S(1, x);`)
+	q := p.Queries[0]
+	if len(q.Select) != 2 {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if q.Guard.Args[2].IsVar() || q.Guard.Args[2].Const.Text() != "4" {
+		t.Errorf("guard constant = %v", q.Guard.Args[2])
+	}
+	a := q.CondAtoms()[0]
+	if a.Args[0].IsVar() || a.Args[0].Const.Text() != "1" {
+		t.Errorf("conditional constant = %v", a.Args[0])
+	}
+}
+
+func TestParseStringConstants(t *testing.T) {
+	p := MustParse(`Z1 := SELECT aut FROM Amaz(ttl, aut, "bad")
+		WHERE BN(ttl, aut, "bad") AND BD(ttl, aut, 'bad');
+		Z2 := SELECT new, aut FROM Upcoming(new, aut) WHERE NOT Z1(aut);`)
+	if len(p.Queries) != 2 {
+		t.Fatalf("got %d queries", len(p.Queries))
+	}
+	g := p.Queries[0].Guard
+	if g.Args[2].IsVar() || !g.Args[2].Const.IsString() || g.Args[2].Const.Text() != "bad" {
+		t.Errorf("string constant = %v", g.Args[2])
+	}
+	// Single- and double-quoted forms intern to the same value.
+	atoms := p.Queries[0].CondAtoms()
+	if atoms[0].Args[2].Const != atoms[1].Args[2].Const {
+		t.Error("quote styles intern differently")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// NOT binds tighter than AND, AND tighter than OR.
+	p := MustParse(`Z := SELECT x FROM R(x) WHERE NOT S(x) AND T(x) OR U(x);`)
+	c, ok := p.Queries[0].Where.(Or)
+	if !ok {
+		t.Fatalf("top level is %T, want Or", p.Queries[0].Where)
+	}
+	if len(c.Cs) != 2 {
+		t.Fatalf("Or arity = %d", len(c.Cs))
+	}
+	if _, ok := c.Cs[0].(And); !ok {
+		t.Errorf("left of OR is %T, want And", c.Cs[0])
+	}
+}
+
+func TestParseUniquenessQueryShape(t *testing.T) {
+	// Paper query B2.
+	src := `Z := SELECT x, y, z, w FROM R(x, y, z, w) WHERE
+		(S(x) AND NOT T(x) AND NOT U(x) AND NOT V(x)) OR
+		(NOT S(x) AND T(x) AND NOT U(x) AND NOT V(x)) OR
+		(S(x) AND NOT T(x) AND U(x) AND NOT V(x)) OR
+		(NOT S(x) AND NOT T(x) AND NOT U(x) AND V(x));`
+	p := MustParse(src)
+	or, ok := p.Queries[0].Where.(Or)
+	if !ok || len(or.Cs) != 4 {
+		t.Fatalf("B2 shape wrong: %T", p.Queries[0].Where)
+	}
+	if got := len(p.Queries[0].CondAtoms()); got != 4 {
+		t.Errorf("distinct atoms = %d, want 4", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := MustParse(`
+		-- line comment
+		# another comment
+		Z := SELECT x FROM R(x); -- trailing
+	`)
+	if len(p.Queries) != 1 || p.Queries[0].Name != "Z" {
+		t.Errorf("comments mishandled: %v", p)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	p := MustParse(`Z := select x from R(x) where not S(x);`)
+	if _, ok := p.Queries[0].Where.(Not); !ok {
+		t.Errorf("Where = %T", p.Queries[0].Where)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`Z := SELECT x, y FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));`,
+		`Z := SELECT x FROM R(x, y, 4) WHERE (S(1, x) AND NOT S(y, 10)) OR (NOT S(1, x) AND S(y, 10));`,
+		`Z1 := SELECT x FROM R(x) WHERE S(x);
+		 Z2 := SELECT x FROM T(x, y) WHERE NOT Z1(x) OR S(y);`,
+		`Z := SELECT a FROM Books(a, b) WHERE Ratings(a, "bad");`,
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparsing %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip changed:\n%s\nvs\n%s", p1, p2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", ``, "empty program"},
+		{"missing semi", `Z := SELECT x FROM R(x)`, "expected ';'"},
+		{"missing assign", `Z SELECT x FROM R(x);`, "expected ':='"},
+		{"bad char", `Z := SELECT x FROM R(x) WHERE S(x) @;`, "unexpected character"},
+		{"unterminated string", `Z := SELECT x FROM R(x, ");`, "unterminated string"},
+		{"missing from", `Z := SELECT x R(x);`, "expected FROM"},
+		{"empty parens", `Z := SELECT x FROM R();`, "expected term"},
+		{"keyword as name", `SELECT := SELECT x FROM R(x);`, "expected identifier"},
+		{"dangling not", `Z := SELECT x FROM R(x) WHERE NOT;`, "expected NOT, '(' or atom"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("parse succeeded for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseExample5Program(t *testing.T) {
+	// Paper Example 5: five queries with a chain + one independent query.
+	src := `
+	Q1 := SELECT x, y FROM R1(x, y) WHERE S(x);
+	Q2 := SELECT x, y FROM Q1(x, y) WHERE T(x);
+	Q3 := SELECT x, y FROM Q2(x, y) WHERE U(x);
+	Q4 := SELECT x, y FROM R2(x, y) WHERE T(x);
+	Q5 := SELECT x, y FROM Q3(x, y) WHERE Q4(x, x);`
+	p := MustParse(src)
+	if len(p.Queries) != 5 {
+		t.Fatalf("got %d queries", len(p.Queries))
+	}
+	base := p.BaseRelations()
+	want := []string{"R1", "R2", "S", "T", "U"}
+	if len(base) != len(want) {
+		t.Fatalf("BaseRelations = %v", base)
+	}
+	for i := range want {
+		if base[i] != want[i] {
+			t.Fatalf("BaseRelations = %v, want %v", base, want)
+		}
+	}
+}

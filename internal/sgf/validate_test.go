@@ -1,0 +1,105 @@
+package sgf
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectInvalid(t *testing.T, src, wantErr string) {
+	t.Helper()
+	p, err := ParseUnvalidated(src)
+	if err != nil {
+		t.Fatalf("parse error (want validation error): %v", err)
+	}
+	err = Validate(p)
+	if err == nil {
+		t.Fatalf("Validate accepted %q", src)
+	}
+	if !strings.Contains(err.Error(), wantErr) {
+		t.Errorf("error %q does not contain %q", err, wantErr)
+	}
+}
+
+func TestValidateSelectVarNotInGuard(t *testing.T) {
+	expectInvalid(t, `Z := SELECT q FROM R(x, y);`, "select variable q")
+}
+
+func TestValidateUnguardedSharedVariable(t *testing.T) {
+	// ttl is shared by the two conditional atoms but absent from the
+	// guard: the motivating non-example from the paper's Example 2.
+	expectInvalid(t,
+		`Z := SELECT new FROM Upcoming(new, aut) WHERE BN(ttl, aut) AND BD(ttl, aut);`,
+		"not guarded")
+}
+
+func TestValidateGuardedSharedVariableOK(t *testing.T) {
+	// aut is shared but occurs in the guard: fine.
+	if _, err := Parse(`Z := SELECT new FROM Upcoming(new, aut) WHERE BN(ttl, aut) AND BD(ttl2, aut);`); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestValidateSharedOnlyWithGuardOK(t *testing.T) {
+	// Conditional atoms may freely share variables with the guard, and may
+	// have private existential variables.
+	if _, err := Parse(`Z := SELECT x FROM R(x, y) WHERE S(x, z1) AND NOT S(y, z2);`); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestValidateDuplicateOutput(t *testing.T) {
+	expectInvalid(t, `Z := SELECT x FROM R(x); Z := SELECT x FROM S(x);`, "defined twice")
+}
+
+func TestValidateForwardReference(t *testing.T) {
+	expectInvalid(t,
+		`Z1 := SELECT x FROM R(x) WHERE Z2(x); Z2 := SELECT x FROM S(x);`,
+		"defined later")
+}
+
+func TestValidateSelfReference(t *testing.T) {
+	expectInvalid(t, `Z := SELECT x FROM R(x) WHERE Z(x);`, "own output")
+	expectInvalid(t, `Z := SELECT x FROM Z(x);`, "own output")
+}
+
+func TestValidateArityConflict(t *testing.T) {
+	expectInvalid(t, `Z := SELECT x FROM R(x, y) WHERE R(x);`, "arity")
+	expectInvalid(t,
+		`Z1 := SELECT x, y FROM R(x, y); Z2 := SELECT x FROM S(x) WHERE Z1(x);`,
+		"arity")
+}
+
+func TestValidateArityOfOutputUse(t *testing.T) {
+	// Z1 has output arity 1; using it with arity 1 later is fine.
+	if _, err := Parse(`Z1 := SELECT x FROM R(x, y); Z2 := SELECT a FROM S(a) WHERE Z1(a);`); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRepeatedVarsAndConstantsOK(t *testing.T) {
+	if _, err := Parse(`Z := SELECT x FROM R(x, x, 3) WHERE S(x, x) AND T("q", x);`); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestValidateExampleQueriesFromPaper(t *testing.T) {
+	srcs := []string{
+		// Example 1.
+		`Z1 := SELECT x FROM R(x) WHERE S(x);`,
+		`Z2 := SELECT x FROM R(x) WHERE NOT S(x);`,
+		`Z3 := SELECT x, y FROM R(x, y) WHERE S(y, z);`,
+		`Z4 := SELECT x, y FROM R(x, y) WHERE NOT S(y, z);`,
+		`Z5 := SELECT x, y FROM R(x, y, 4)
+			WHERE (S(1, x) AND NOT S(y, 10)) OR (NOT S(1, x) AND S(y, 10));`,
+		`Z6 := SELECT x1, x2 FROM R(x1, x2) WHERE S(x1, y1) AND S(x2, y2);`,
+		// Example 2.
+		`Z1 := SELECT aut FROM Amaz(ttl, aut, "bad")
+			WHERE BN(ttl, aut, "bad") AND BD(ttl, aut, "bad");
+		 Z2 := SELECT new, aut FROM Upcoming(new, aut) WHERE NOT Z1(aut);`,
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("paper query rejected: %v\n%s", err, src)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/refeval"
+	"repro/internal/sgf"
+)
+
+func TestAllWorkloadsParseAndValidate(t *testing.T) {
+	all := append(append(AQueries(), BQueries()...), CQueries()...)
+	all = append(all, CostModel(), A3K(2), A3K(16))
+	for _, w := range all {
+		if err := sgf.Validate(w.Program); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	if got := len(core.ExtractEquations(A1().Program.Queries)); got != 4 {
+		t.Errorf("A1 equations = %d", got)
+	}
+	if got := len(core.ExtractEquations(B1().Program.Queries)); got != 16 {
+		t.Errorf("B1 equations = %d", got)
+	}
+	if got := len(core.ExtractEquations(B2().Program.Queries)); got != 4 {
+		t.Errorf("B2 equations = %d (distinct atoms)", got)
+	}
+	if got := len(core.ExtractEquations(CostModel().Program.Queries)); got != 48 {
+		t.Errorf("COSTMODEL equations = %d", got)
+	}
+	if got := len(core.ExtractEquations(A3K(7).Program.Queries)); got != 7 {
+		t.Errorf("A3K(7) equations = %d", got)
+	}
+	// A3 and B2 are 1-round applicable; A1 is not.
+	if core.OneRoundApplicable(A3().Program.Queries[0]) != core.OneRoundShared {
+		t.Error("A3 should be shared-key 1-round")
+	}
+	if core.OneRoundApplicable(B2().Program.Queries[0]) != core.OneRoundShared {
+		t.Error("B2 should be shared-key 1-round")
+	}
+	if core.OneRoundApplicable(A1().Program.Queries[0]) != core.OneRoundInapplicable {
+		t.Error("A1 should not be 1-round applicable")
+	}
+}
+
+func TestWorkloadLevels(t *testing.T) {
+	for _, c := range []struct {
+		w      Workload
+		levels int
+	}{
+		{C1(), 2}, {C2(), 2}, {C3(), 3}, {C4(), 2},
+	} {
+		g := sgf.BuildDepGraph(c.w.Program)
+		if got := len(g.LevelGroups()); got != c.levels {
+			t.Errorf("%s levels = %d, want %d", c.w.Name, got, c.levels)
+		}
+	}
+}
+
+func TestBuildGeneratesAllBaseRelations(t *testing.T) {
+	for _, w := range []Workload{A1(), A4(), B2(), C3(), CostModel()} {
+		db := w.Build(0.0001)
+		for _, name := range w.Program.BaseRelations() {
+			if !db.Has(name) {
+				t.Errorf("%s: missing base relation %s", w.Name, name)
+			}
+		}
+		// Every workload must evaluate without error at tiny scale.
+		if _, err := refeval.EvalProgram(w.Program, db); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestBuildScale(t *testing.T) {
+	w := A1()
+	db := w.Build(0.00002) // 2000 guard tuples
+	if got := db.Relation("R").Size(); got != 2000 {
+		t.Errorf("guard size = %d", got)
+	}
+	if got := db.Relation("S").Size(); got != 2000 {
+		t.Errorf("cond size = %d", got)
+	}
+}
+
+func TestBuildMatchFrac(t *testing.T) {
+	w := A1()
+	db := w.Build(0.00005) // 5000 tuples
+	rate := data.CondMatchRate(db.Relation("R"), 0, db.Relation("S"), 0)
+	if rate < 0.44 || rate > 0.56 {
+		t.Errorf("S match rate = %v, want ~0.5", rate)
+	}
+	// T joins guard column 1.
+	rate = data.CondMatchRate(db.Relation("R"), 1, db.Relation("T"), 0)
+	if rate < 0.44 || rate > 0.56 {
+		t.Errorf("T match rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestBuildSelectivity(t *testing.T) {
+	w := A1().WithSelectivity(0.3)
+	db := w.Build(0.00005)
+	rate := data.MatchRate(db.Relation("R"), 0, db.Relation("S"), 0)
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("selectivity = %v, want ~0.3", rate)
+	}
+}
+
+func TestCostModelFiltersEverything(t *testing.T) {
+	w := CostModel()
+	db := w.Build(0.00002)
+	out, err := refeval.EvalOutput(w.Program, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 0 {
+		t.Errorf("cost-model query output = %d tuples, want 0 (constant filters all)", out.Size())
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := A2().Build(0.00002)
+	b := A2().Build(0.00002)
+	for _, name := range a.Names() {
+		if !a.Relation(name).Equal(b.Relation(name)) {
+			t.Errorf("relation %s differs between builds", name)
+		}
+	}
+}

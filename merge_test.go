@@ -1,0 +1,73 @@
+package gumbo
+
+import (
+	"testing"
+)
+
+func TestMergeQueries(t *testing.T) {
+	q1 := MustParse(`Z1 := SELECT x, y FROM R(x, y) WHERE S(x);`)
+	q2 := MustParse(`Z2 := SELECT x, y FROM R(x, y) WHERE T(y);`)
+	merged, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Subqueries() != 2 {
+		t.Errorf("subqueries = %d", merged.Subqueries())
+	}
+	db := apiDB()
+	out, err := EvalAll(merged, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := Eval(q1, db)
+	w2, _ := Eval(q2, db)
+	if !out.Relation("Z1").Equal(w1) || !out.Relation("Z2").Equal(w2) {
+		t.Error("merged evaluation deviates from separate evaluation")
+	}
+	// MR evaluation of the merged program, with sharing.
+	sys := New()
+	res, err := sys.Run(merged, db, GreedySGF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outputs.Relation("Z1").Equal(w1) || !res.Outputs.Relation("Z2").Equal(w2) {
+		t.Error("merged MR evaluation wrong")
+	}
+}
+
+func TestMergeSharesWork(t *testing.T) {
+	// Two queries over the same guard: the merged Greedy plan uses
+	// fewer jobs than the two separate plans combined.
+	q1 := MustParse(`Z1 := SELECT x, y FROM R(x, y) WHERE S(x);`)
+	q2 := MustParse(`Z2 := SELECT x, y FROM R(x, y) WHERE T(y);`)
+	merged, err := Merge(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := apiDB()
+	sys := New()
+	mergedPlan, err := sys.Plan(merged, db, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := sys.Plan(q1, db, Greedy)
+	p2, _ := sys.Plan(q2, db, Greedy)
+	if mergedPlan.Jobs() >= p1.Jobs()+p2.Jobs() {
+		t.Errorf("merged plan has %d jobs vs separate %d+%d",
+			mergedPlan.Jobs(), p1.Jobs(), p2.Jobs())
+	}
+}
+
+func TestMergeConflicts(t *testing.T) {
+	q1 := MustParse(`Z := SELECT x FROM R(x, y) WHERE S(x);`)
+	q2 := MustParse(`Z := SELECT x FROM G(x, y) WHERE T(x);`)
+	if _, err := Merge(q1, q2); err == nil {
+		t.Error("duplicate output accepted")
+	}
+	// q4 reads base relation Z1, which q3 defines: ambiguous merge.
+	q3 := MustParse(`Z1 := SELECT x FROM R(x, y) WHERE S(x);`)
+	q4 := MustParse(`W := SELECT x FROM Z1(x) WHERE T(x);`)
+	if _, err := Merge(q3, q4); err == nil {
+		t.Error("base/output collision accepted")
+	}
+}

@@ -1,0 +1,13 @@
+package gumbo
+
+import "testing"
+
+func TestOutputNames(t *testing.T) {
+	q := MustParse(`
+		Z1 := SELECT x, y FROM R(x, y) WHERE S(x);
+		Z2 := SELECT x FROM Z1(x, y) WHERE T(y);`)
+	got := q.OutputNames()
+	if len(got) != 2 || got[0] != "Z1" || got[1] != "Z2" {
+		t.Errorf("OutputNames = %v", got)
+	}
+}
