@@ -8,9 +8,11 @@
 package gumbo
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -230,6 +232,57 @@ func BenchmarkOneRoundJob(b *testing.B) {
 		}
 	}
 }
+
+// schedulerWorkload builds k independent subqueries over disjoint
+// relations: Greedy-SGF compiles them into a multi-job plan whose MR
+// dependency graph is k parallel two-job chains, the shape the
+// DAG-parallel program scheduler exploits.
+func schedulerWorkload(k int, guardTuples int64) (*Query, *Database) {
+	var src strings.Builder
+	db := NewDatabase()
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&src, "Z%d := SELECT x, y FROM R%d(x, y) WHERE S%d(x) AND T%d(y);\n", i, i, i, i)
+		g := NewRelation(fmt.Sprintf("R%d", i), 2)
+		s := NewRelation(fmt.Sprintf("S%d", i), 1)
+		u := NewRelation(fmt.Sprintf("T%d", i), 1)
+		for j := int64(0); j < guardTuples; j++ {
+			g.Add(Tuple{Int(j), Int(j % 997)})
+		}
+		for j := int64(0); j < guardTuples/2; j++ {
+			s.Add(Tuple{Int(j * 2)})
+		}
+		for j := int64(0); j < 499; j++ {
+			u.Add(Tuple{Int(j)})
+		}
+		db.Put(g)
+		db.Put(s)
+		db.Put(u)
+	}
+	return MustParse(src.String()), db
+}
+
+// benchProgramJobs runs a Greedy-SGF plan of independent subqueries with
+// the given job-level host parallelism. Phase workers are pinned to 1 so
+// the pair of benchmarks isolates the program scheduler's contribution
+// to wall-clock time; simulated metrics are identical in both.
+func benchProgramJobs(b *testing.B, concurrentJobs int) {
+	q, db := schedulerWorkload(6, 20000)
+	s := New(WithScale(0.001), WithHostParallelism(1, concurrentJobs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(q, db, GreedySGF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProgramJobsSequential runs the plan's jobs one at a time.
+func BenchmarkProgramJobsSequential(b *testing.B) { benchProgramJobs(b, 1) }
+
+// BenchmarkProgramJobsDAGParallel runs dependency-independent jobs
+// concurrently (GOMAXPROCS); compare against the Sequential variant for
+// the scheduler's wall-clock speedup.
+func BenchmarkProgramJobsDAGParallel(b *testing.B) { benchProgramJobs(b, 0) }
 
 // BenchmarkParser measures SGF parsing+validation throughput.
 func BenchmarkParser(b *testing.B) {

@@ -24,6 +24,8 @@ func main() {
 		expList  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		nodes    = flag.Int("nodes", 10, "simulated cluster nodes")
 		verify   = flag.Bool("verify", false, "cross-check outputs against the reference evaluator")
+		workers  = flag.Int("workers", 0, "host goroutines per map/reduce phase (0 = GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 0, "independent plan jobs run concurrently on the host (0 = GOMAXPROCS, 1 = sequential)")
 		progress = flag.Bool("v", false, "log each run")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
@@ -38,6 +40,8 @@ func main() {
 
 	cfg := experiments.At(*scale)
 	cfg.Cluster.Nodes = *nodes
+	cfg.HostWorkers = *workers
+	cfg.HostJobs = *jobs
 	if *verify {
 		cfg.Verify = true
 	}

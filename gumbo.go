@@ -8,7 +8,12 @@
 // The package evaluates SGF queries over in-memory relations on an
 // in-process MapReduce engine that measures the byte quantities of the
 // paper's cost model and derives simulated net/total times on a
-// configurable virtual cluster. A minimal session:
+// configurable virtual cluster. On the host, the engine runs
+// dependency-independent jobs of a plan concurrently (a DAG-parallel
+// scheduler over the program's producer/consumer edges) in addition to
+// parallelizing the map, shuffle and reduce phases of each job; the
+// WithHostParallelism option bounds both. Results are deterministic at
+// every parallelism setting. A minimal session:
 //
 //	q, _ := gumbo.Parse(`Z := SELECT x, y FROM R(x, y) WHERE S(x) AND T(y);`)
 //	db := gumbo.NewDatabase()
@@ -92,8 +97,10 @@ func DefaultCostConfig() CostConfig { return cost.Default() }
 
 // System evaluates queries under one configuration.
 type System struct {
-	costCfg    cost.Config
-	clusterCfg cluster.Config
+	costCfg      cost.Config
+	clusterCfg   cluster.Config
+	phaseWorkers int
+	hostJobs     int
 }
 
 // Option configures a System.
@@ -114,6 +121,20 @@ func WithCluster(nodes, slotsPerNode int) Option {
 // reducer allocation) for runs at a fraction of the paper's data sizes.
 func WithScale(f float64) Option {
 	return func(s *System) { s.costCfg = s.costCfg.Scaled(f) }
+}
+
+// WithHostParallelism bounds the host-side concurrency of the in-process
+// engine: phaseWorkers goroutines per map/shuffle/reduce phase, and up
+// to concurrentJobs dependency-independent jobs of a plan running at a
+// time (the DAG-parallel program scheduler). Zero for either means
+// GOMAXPROCS; 1 forces sequential execution. Outputs, stats and
+// simulated metrics are identical at every setting — only wall-clock
+// time changes.
+func WithHostParallelism(phaseWorkers, concurrentJobs int) Option {
+	return func(s *System) {
+		s.phaseWorkers = phaseWorkers
+		s.hostJobs = concurrentJobs
+	}
 }
 
 // New returns a System with the paper's default configuration.
@@ -243,7 +264,7 @@ func (s *System) Run(q *Query, db *Database, strategy Strategy) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	runner := exec.NewRunner(s.costCfg, s.clusterCfg)
+	runner := exec.NewRunner(s.costCfg, s.clusterCfg).WithHostParallelism(s.phaseWorkers, s.hostJobs)
 	res, err := runner.Run(inner, db)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,17 @@ func NewRunner(costCfg cost.Config, clusterCfg cluster.Config) *Runner {
 	}
 }
 
+// WithHostParallelism bounds the engine's host-side concurrency:
+// phaseWorkers goroutines per map/reduce phase and up to concurrentJobs
+// dependency-independent jobs of a program at a time. Zero for either
+// means GOMAXPROCS. Outputs, stats and simulated metrics are identical
+// at every setting; only wall-clock time changes. Returns r.
+func (r *Runner) WithHostParallelism(phaseWorkers, concurrentJobs int) *Runner {
+	r.Engine.Parallelism = phaseWorkers
+	r.Engine.JobParallelism = concurrentJobs
+	return r
+}
+
 // Result is the outcome of running one plan.
 type Result struct {
 	Plan     *core.Plan

@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationPacking(t *testing.T) {
-	tbl, err := AblationPacking(TestConfig())
+	tbl, err := AblationPacking(testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +20,7 @@ func TestAblationPacking(t *testing.T) {
 }
 
 func TestAblationTupleID(t *testing.T) {
-	tbl, err := AblationTupleID(TestConfig())
+	tbl, err := AblationTupleID(testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestAblationTupleID(t *testing.T) {
 }
 
 func TestAblationReducerAllocation(t *testing.T) {
-	tbl, err := AblationReducerAllocation(TestConfig())
+	tbl, err := AblationReducerAllocation(testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestAblationReducerAllocation(t *testing.T) {
 }
 
 func TestAblationSkew(t *testing.T) {
-	tbl, err := AblationSkew(TestConfig())
+	tbl, err := AblationSkew(testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestAblationSkew(t *testing.T) {
 }
 
 func TestAblationDynamic(t *testing.T) {
-	tbl, err := AblationDynamic(TestConfig())
+	tbl, err := AblationDynamic(testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestAblationDynamic(t *testing.T) {
 }
 
 func TestAblationsCombined(t *testing.T) {
-	tbl, err := Ablations(TestConfig())
+	tbl, err := Ablations(testConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}

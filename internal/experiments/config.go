@@ -35,6 +35,12 @@ type Config struct {
 	// Verify cross-checks every strategy's output against the reference
 	// evaluator (slower; on by default at small scales).
 	Verify bool
+	// HostWorkers / HostJobs bound the engine's host-side concurrency:
+	// worker goroutines per map/reduce phase and concurrently executed
+	// independent jobs of a plan (0 = GOMAXPROCS). Simulated results are
+	// identical at every setting; only wall-clock time changes.
+	HostWorkers int
+	HostJobs    int
 	// Progress, when non-nil, receives one line per run.
 	Progress io.Writer
 }
@@ -55,7 +61,13 @@ func DefaultConfig() Config { return At(0.001) }
 // TestConfig is a fast configuration for unit tests.
 func TestConfig() Config { return At(0.0001) }
 
-func (c Config) runner() *exec.Runner { return exec.NewRunner(c.CostCfg, c.Cluster) }
+// SmokeConfig is a minimal configuration for quick end-to-end smoke
+// checks (e.g. `go test -short`): tiny data, reference verification on.
+func SmokeConfig() Config { return At(0.00005) }
+
+func (c Config) runner() *exec.Runner {
+	return exec.NewRunner(c.CostCfg, c.Cluster).WithHostParallelism(c.HostWorkers, c.HostJobs)
+}
 
 func (c Config) logf(format string, args ...any) {
 	if c.Progress != nil {

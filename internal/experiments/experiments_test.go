@@ -10,6 +10,34 @@ import (
 	"repro/internal/workload"
 )
 
+// testConfig returns the standard test configuration, skipping the
+// calling test under -short: regenerating the full set of paper
+// artifacts takes ~45s, which TestSmoke covers in miniature instead.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full artifact regeneration skipped in -short mode (see TestSmoke)")
+	}
+	return TestConfig()
+}
+
+// TestSmoke runs one complete experiment end to end — planning, the MR
+// engine, the cluster simulator and reference verification — at a
+// minimal scale, so -short runs still cover the whole pipeline.
+func TestSmoke(t *testing.T) {
+	tbl, err := AblationPacking(SmokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	on, off := tbl.Rows[0], tbl.Rows[1]
+	if cell(t, on[3]) >= cell(t, off[3]) {
+		t.Errorf("packing did not cut comm: %s vs %s", on[3], off[3])
+	}
+}
+
 // cell parses a numeric cell like "32s", "53%", "1.23GB".
 func cell(t *testing.T, s string) float64 {
 	t.Helper()
@@ -32,7 +60,7 @@ func rowLookup(tbl *Table, n int) map[string][]string {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Figure3(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +108,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Figure4(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +136,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Figure5(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +160,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure7aShape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Figure7a(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +188,7 @@ func TestFigure7aShape(t *testing.T) {
 }
 
 func TestFigure7bShape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Figure7b(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +205,7 @@ func TestFigure7bShape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Figure8(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +228,7 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := Table3(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +251,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestCostModelExperimentShape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := CostModelExperiment(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +268,7 @@ func TestCostModelExperimentShape(t *testing.T) {
 }
 
 func TestRankingAccuracyShape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	cfg.Verify = false
 	tbl, err := RankingAccuracy(cfg, 10)
 	if err != nil {
@@ -257,7 +285,7 @@ func TestRankingAccuracyShape(t *testing.T) {
 }
 
 func TestOptimalVsGreedyShape(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	tbl, err := OptimalVsGreedy(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +298,7 @@ func TestOptimalVsGreedyShape(t *testing.T) {
 }
 
 func TestBuildPlanUnknownStrategy(t *testing.T) {
-	cfg := TestConfig()
+	cfg := testConfig(t)
 	wl := workload.A1()
 	db := wl.Build(cfg.Scale)
 	if _, err := BuildPlan(cfg, core.Strategy("NOPE"), wl, db); err == nil {

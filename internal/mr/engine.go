@@ -12,12 +12,20 @@ import (
 )
 
 // Engine executes jobs. It is safe for concurrent use by independent
-// jobs, though typical callers run jobs of one program sequentially (the
-// cluster simulator, not host concurrency, models parallel net time).
+// jobs: RunJob only reads the database it is given (relation.Database is
+// internally locked), and all per-job state is private. RunProgram
+// exploits this by scheduling dependency-independent jobs of a program
+// concurrently on the host (the cluster simulator still models parallel
+// net time; host concurrency only shortens wall-clock time).
 type Engine struct {
 	Cost        cost.Config
 	Parallelism int // worker goroutines per phase; 0 = GOMAXPROCS
-	SampleEvery int // stride for Sample; 0 = 100
+	// JobParallelism bounds how many dependency-satisfied jobs RunProgram
+	// executes concurrently; 0 = GOMAXPROCS (same convention as
+	// Parallelism), 1 = strictly sequential. Results and stats are
+	// bit-for-bit identical at every setting.
+	JobParallelism int
+	SampleEvery    int // stride for Sample; 0 = 100
 }
 
 // NewEngine returns an engine with the given cost configuration.
@@ -26,6 +34,13 @@ func NewEngine(c cost.Config) *Engine { return &Engine{Cost: c} }
 func (e *Engine) workers() int {
 	if e.Parallelism > 0 {
 		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) jobWorkers() int {
+	if e.JobParallelism > 0 {
+		return e.JobParallelism
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -145,14 +160,48 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 	stats.ReduceTasks = reducers
 
 	// ---- Shuffle: partition records by key hash, in map-task order ----
+	// Each map task partitions its own output independently; per-reducer
+	// slices are then concatenated in task order, so the records each
+	// reducer sees — and the measured loads — are identical to a serial
+	// pass over the tasks.
+	type taskPartition struct {
+		parts [][]record
+		loads []int64
+	}
+	taskParts := make([]taskPartition, len(results))
+	if err := parallelFor(e.workers(), len(results), func(ti int) error {
+		tp := taskPartition{
+			parts: make([][]record, reducers),
+			loads: make([]int64, reducers),
+		}
+		for _, r := range results[ti].records {
+			p := int(hashKey(r.key) % uint32(reducers))
+			tp.parts[p] = append(tp.parts[p], r)
+			tp.loads[p] += KeyBytes(r.key) + r.msg.SizeBytes()
+		}
+		taskParts[ti] = tp
+		return nil
+	}); err != nil {
+		return nil, JobStats{}, err
+	}
 	partitions := make([][]record, reducers)
 	loads := make([]int64, reducers)
-	for _, res := range results {
-		for _, r := range res.records {
-			p := int(hashKey(r.key) % uint32(reducers))
-			partitions[p] = append(partitions[p], r)
-			loads[p] += KeyBytes(r.key) + r.msg.SizeBytes()
+	if err := parallelFor(e.workers(), reducers, func(p int) error {
+		n := 0
+		for ti := range taskParts {
+			n += len(taskParts[ti].parts[p])
 		}
+		part := make([]record, 0, n)
+		var load int64
+		for ti := range taskParts {
+			part = append(part, taskParts[ti].parts[p]...)
+			load += taskParts[ti].loads[p]
+		}
+		partitions[p] = part
+		loads[p] = load
+		return nil
+	}); err != nil {
+		return nil, JobStats{}, err
 	}
 	stats.ReduceLoadMB = make([]float64, reducers)
 	for i, l := range loads {

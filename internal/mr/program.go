@@ -81,9 +81,15 @@ func (p *Program) Validate(base []string) error {
 	return nil
 }
 
-// RunProgram executes the jobs in order, feeding outputs forward, and
-// returns the database of all job outputs together with per-job stats.
-// The input database is not modified.
+// RunProgram executes the program's jobs, feeding outputs forward, and
+// returns the database of all job outputs together with per-job stats in
+// declared job order. The input database is not modified.
+//
+// Jobs whose dependencies (per Deps) are satisfied run concurrently on
+// up to Engine.JobParallelism goroutines; because each relation has a
+// unique producer (Validate forbids overwrites), every job sees exactly
+// the inputs it would see under sequential execution, so outputs and
+// stats are identical at every parallelism level.
 func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Database, []JobStats, error) {
 	if err := p.Validate(db.Names()); err != nil {
 		return nil, nil, err
@@ -92,18 +98,34 @@ func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Databa
 	for _, r := range db.Relations() {
 		working.Put(r)
 	}
+	workers := e.jobWorkers()
+	if workers > len(p.Jobs) {
+		workers = len(p.Jobs)
+	}
+	var (
+		results []progResult
+		err     error
+	)
+	if workers <= 1 {
+		results, err = e.runSequential(p, working)
+	} else {
+		results, err = e.runDAG(p, working, workers)
+	}
+	// Fold completed jobs in declared order so the outputs database and
+	// the stats slice are independent of the schedule.
 	outputs := relation.NewDatabase()
 	stats := make([]JobStats, 0, len(p.Jobs))
-	for _, job := range p.Jobs {
-		out, st, err := e.RunJob(job, working)
-		if err != nil {
-			return nil, stats, fmt.Errorf("mr: job %s: %w", job.Name, err)
+	for _, res := range results {
+		if !res.done {
+			continue
 		}
-		for _, r := range out.Relations() {
-			working.Put(r)
+		for _, r := range res.outs.Relations() {
 			outputs.Put(r)
 		}
-		stats = append(stats, st)
+		stats = append(stats, res.stats)
+	}
+	if err != nil {
+		return nil, stats, err
 	}
 	return outputs, stats, nil
 }

@@ -1,0 +1,141 @@
+package mr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// progResult is the outcome of one scheduled job.
+type progResult struct {
+	outs  *relation.Database
+	stats JobStats
+	done  bool // job ran to completion
+}
+
+// runDAG executes the program's jobs respecting the dependency edges of
+// p.Deps(), running up to `workers` dependency-satisfied jobs at a time.
+// Outputs of finished jobs are published into the shared working
+// database before any dependent starts, so every job reads exactly the
+// inputs it would read under sequential execution; results and stats are
+// therefore identical at every parallelism level.
+//
+// On failure no new jobs are scheduled, but already-queued jobs with a
+// lower index than the recorded failure still run, so when several
+// ready jobs fail the lowest-indexed one's error is reported regardless
+// of goroutine scheduling. The results of completed jobs are returned
+// alongside the error.
+func (e *Engine) runDAG(p *Program, working *relation.Database, workers int) ([]progResult, error) {
+	n := len(p.Jobs)
+	results := make([]progResult, n)
+	deps := p.Deps()
+	dependents := make([][]int, n)
+	remaining := make([]int, n)
+	for i, ds := range deps {
+		remaining[i] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	ready := make(chan int, n)
+	var (
+		mu       sync.Mutex
+		enqueued int
+		finished int
+		failIdx  = -1
+		failErr  error
+	)
+	// enqueue must be called with mu held.
+	enqueue := func(i int) {
+		enqueued++
+		ready <- i
+	}
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			enqueue(i)
+		}
+	}
+	if enqueued == 0 {
+		close(ready) // n == 0 (Validate rejects cyclic programs)
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				// After a failure, skip queued jobs unless they could
+				// supersede the recorded error with a lower index.
+				aborted := failErr != nil && i > failIdx
+				mu.Unlock()
+
+				var (
+					outs *relation.Database
+					st   JobStats
+					err  error
+				)
+				if !aborted {
+					outs, st, err = e.RunJob(p.Jobs[i], working)
+				}
+
+				mu.Lock()
+				switch {
+				case aborted:
+					// skipped: nothing to record
+				case err != nil:
+					if failErr == nil || i < failIdx {
+						failIdx, failErr = i, err
+					}
+				default:
+					// Publish outputs before releasing dependents: the
+					// lock ordering makes the producer's writes visible
+					// to every job it unblocks.
+					for _, r := range outs.Relations() {
+						working.Put(r)
+					}
+					results[i] = progResult{outs: outs, stats: st, done: true}
+					for _, d := range dependents[i] {
+						remaining[d]--
+						if remaining[d] == 0 && failErr == nil {
+							enqueue(d)
+						}
+					}
+				}
+				finished++
+				if finished == enqueued {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failErr != nil {
+		return results, fmt.Errorf("mr: job %s: %w", p.Jobs[failIdx].Name, failErr)
+	}
+	return results, nil
+}
+
+// runSequential executes the jobs strictly in declared order: the
+// reference schedule the DAG scheduler must match bit for bit.
+func (e *Engine) runSequential(p *Program, working *relation.Database) ([]progResult, error) {
+	results := make([]progResult, len(p.Jobs))
+	for i, job := range p.Jobs {
+		outs, st, err := e.RunJob(job, working)
+		if err != nil {
+			return results, fmt.Errorf("mr: job %s: %w", job.Name, err)
+		}
+		for _, r := range outs.Relations() {
+			working.Put(r)
+		}
+		results[i] = progResult{outs: outs, stats: st, done: true}
+	}
+	return results, nil
+}

@@ -1,0 +1,309 @@
+package mr
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// identityJob copies relation in to relation out through a full
+// map/shuffle/reduce pass.
+func identityJob(name, in, out string, arity int) *Job {
+	return &Job{
+		Name:    name,
+		Inputs:  []string{in},
+		Outputs: map[string]int{out: arity},
+		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+			emit(t.Key(), intMsg(int64(id)))
+		}),
+		Reducer: ReducerFunc(func(key string, msgs []Message, o *Output) {
+			o.Add(out, relation.TupleFromKey(key))
+		}),
+	}
+}
+
+// unionJob unions the tuples of ins into out.
+func unionJob(name string, ins []string, out string, arity int) *Job {
+	return &Job{
+		Name:    name,
+		Inputs:  ins,
+		Outputs: map[string]int{out: arity},
+		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+			emit(t.Key(), intMsg(int64(id)))
+		}),
+		Reducer: ReducerFunc(func(key string, msgs []Message, o *Output) {
+			o.Add(out, relation.TupleFromKey(key))
+		}),
+	}
+}
+
+// diamondProgram builds a 3-round program with parallelizable middles:
+//
+//	semijoin(R,S) → Z;  Z → W;  Z → V;  W ∪ V → F;  semijoin2(R2,S2) → Z2
+//
+// Jobs 1, 2 and 4 are pairwise independent once job 0 finishes.
+func diamondProgram() (*Program, *relation.Database) {
+	db := testDB()
+	var tuples []relation.Tuple
+	for i := int64(0); i < 300; i++ {
+		tuples = append(tuples, tup(i, i%13))
+	}
+	db.Put(relation.FromTuples("R2", 2, tuples))
+	db.Put(relation.FromTuples("S2", 1, []relation.Tuple{tup(0), tup(4), tup(7)}))
+
+	sj2 := semijoinJob(true)
+	sj2.Name = "semijoin2"
+	sj2.Inputs = []string{"R2", "S2"}
+	sj2.Outputs = map[string]int{"Z2": 2}
+
+	p := &Program{Jobs: []*Job{
+		semijoinJob(false),
+		identityJob("left", "Z", "W", 2),
+		identityJob("right", "Z", "V", 2),
+		unionJob("join", []string{"W", "V"}, "F", 2),
+		sj2,
+	}}
+	return p, db
+}
+
+// programSignature captures everything observable about a run: output
+// database insertion order, full relation contents, and deep per-job
+// stats.
+func programSignature(t *testing.T, outs *relation.Database) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, name := range outs.Names() {
+		sb.WriteString(outs.Relation(name).Dump())
+	}
+	return sb.String()
+}
+
+// TestRunProgramDeterminismAcrossJobParallelism is the scheduler's core
+// contract: outputs and per-job stats of a multi-round plan are
+// bit-for-bit identical whether jobs run strictly sequentially or
+// DAG-parallel on all cores.
+func TestRunProgramDeterminismAcrossJobParallelism(t *testing.T) {
+	p, db := diamondProgram()
+	if p.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3", p.Rounds())
+	}
+
+	type combo struct{ workers, jobs int }
+	combos := []combo{
+		{1, 1},
+		{1, runtime.GOMAXPROCS(0)},
+		{runtime.GOMAXPROCS(0), 1},
+		{runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0)},
+		{0, 0}, // both default to GOMAXPROCS
+	}
+	var baseSig string
+	var baseStats []JobStats
+	for _, c := range combos {
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.Parallelism = c.workers
+		e.JobParallelism = c.jobs
+		outs, stats, err := e.RunProgram(p, db)
+		if err != nil {
+			t.Fatalf("workers=%d jobs=%d: %v", c.workers, c.jobs, err)
+		}
+		if len(stats) != len(p.Jobs) {
+			t.Fatalf("workers=%d jobs=%d: %d stats for %d jobs", c.workers, c.jobs, len(stats), len(p.Jobs))
+		}
+		for i, st := range stats {
+			if st.Name != p.Jobs[i].Name {
+				t.Fatalf("workers=%d jobs=%d: stats[%d] = %s, want declared order %s",
+					c.workers, c.jobs, i, st.Name, p.Jobs[i].Name)
+			}
+		}
+		sig := programSignature(t, outs)
+		if baseSig == "" {
+			baseSig, baseStats = sig, stats
+			continue
+		}
+		if sig != baseSig {
+			t.Errorf("workers=%d jobs=%d: outputs differ from sequential run", c.workers, c.jobs)
+		}
+		if !reflect.DeepEqual(stats, baseStats) {
+			t.Errorf("workers=%d jobs=%d: stats differ:\n%+v\nvs\n%+v", c.workers, c.jobs, stats, baseStats)
+		}
+	}
+}
+
+// TestRunProgramJobsOverlap proves dependency-independent jobs really
+// run concurrently: two independent jobs whose mappers rendezvous can
+// only both reach the barrier if the scheduler overlaps them.
+func TestRunProgramJobsOverlap(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("A", 1, []relation.Tuple{tup(1)}))
+	db.Put(relation.FromTuples("B", 1, []relation.Tuple{tup(2)}))
+
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	gated := func(name, in, out string) *Job {
+		var once sync.Once
+		j := identityJob(name, in, out, 1)
+		inner := j.Mapper
+		j.Mapper = MapperFunc(func(input string, id int, tp relation.Tuple, emit Emit) {
+			once.Do(func() {
+				started <- name
+				select {
+				case <-release:
+				case <-time.After(10 * time.Second):
+				}
+			})
+			inner.Map(input, id, tp, emit)
+		})
+		return j
+	}
+	p := &Program{Jobs: []*Job{gated("ja", "A", "OutA"), gated("jb", "B", "OutB")}}
+
+	e := NewEngine(cost.Default())
+	e.JobParallelism = 2
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.RunProgram(p, db)
+		done <- err
+	}()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("independent jobs did not overlap: scheduler is sequential")
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunProgramRespectsDependencies checks a dependent job never starts
+// before its producer publishes: the consumer reads the producer's
+// output through the shared working database.
+func TestRunProgramRespectsDependencies(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		p, db := diamondProgram()
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.JobParallelism = 8
+		outs, _, err := e.RunProgram(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// F = W ∪ V = Z ∪ Z = Z.
+		if !outs.Relation("F").Equal(outs.Relation("Z").Rename("F")) {
+			t.Fatalf("iter %d: F != Z", iter)
+		}
+	}
+}
+
+// TestRunProgramErrorDeterministic: with several independently failing
+// jobs the reported error belongs to the lowest-indexed one, regardless
+// of goroutine scheduling, and completed jobs still report stats.
+func TestRunProgramErrorDeterministic(t *testing.T) {
+	broken := func(name, out string) *Job {
+		return &Job{Name: name, Inputs: []string{"R"}, Outputs: map[string]int{out: 2}}
+	}
+	for iter := 0; iter < 20; iter++ {
+		p := &Program{Jobs: []*Job{
+			semijoinJob(false),
+			broken("broken1", "B1"),
+			broken("broken2", "B2"),
+		}}
+		e := NewEngine(cost.Default())
+		e.JobParallelism = 4
+		_, stats, err := e.RunProgram(p, testDB())
+		if err == nil {
+			t.Fatal("broken program succeeded")
+		}
+		if !strings.Contains(err.Error(), "broken1") {
+			t.Fatalf("iter %d: err = %v, want lowest-indexed job broken1", iter, err)
+		}
+		for _, st := range stats {
+			if st.Name == "broken1" || st.Name == "broken2" {
+				t.Fatalf("iter %d: failed job reported stats", iter)
+			}
+		}
+	}
+}
+
+// TestConcurrentRunJobShared exercises the Engine doc-comment claim
+// under the race detector: concurrent RunJob calls over one shared
+// database are safe and produce the sequential results.
+func TestConcurrentRunJobShared(t *testing.T) {
+	db := testDB()
+	e := NewEngine(cost.Default())
+	want, wantStats, err := e.RunJob(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 4
+	var wg sync.WaitGroup
+	outs := make([]*relation.Database, goroutines)
+	stats := make([]JobStats, goroutines)
+	errs := make([]error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			outs[g], stats[g], errs[g] = e.RunJob(semijoinJob(false), db)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if !outs[g].Relation("Z").Equal(want.Relation("Z")) {
+			t.Errorf("goroutine %d: output differs", g)
+		}
+		if !reflect.DeepEqual(stats[g], wantStats) {
+			t.Errorf("goroutine %d: stats differ", g)
+		}
+	}
+}
+
+// TestConcurrentRunProgramShared runs two whole programs concurrently
+// against one shared base database (race-detector coverage for the
+// scheduler's own bookkeeping).
+func TestConcurrentRunProgramShared(t *testing.T) {
+	p1, db := diamondProgram()
+	p2, _ := diamondProgram()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.JobParallelism = 4
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	for g, p := range []*Program{p1, p2} {
+		go func(g int, p *Program) {
+			defer wg.Done()
+			_, _, errs[g] = e.RunProgram(p, db)
+		}(g, p)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("program %d: %v", g, err)
+		}
+	}
+}
+
+// TestRunProgramEmpty covers the zero-job edge.
+func TestRunProgramEmpty(t *testing.T) {
+	e := NewEngine(cost.Default())
+	e.JobParallelism = 4
+	outs, stats, err := e.RunProgram(&Program{}, testDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 0 || len(outs.Names()) != 0 {
+		t.Errorf("empty program produced %d stats, %d outputs", len(stats), len(outs.Names()))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // BytesPerField is the assumed serialized size of one tuple field, chosen
@@ -150,7 +151,14 @@ func (r *Relation) Dump() string {
 
 // Database is a named collection of relations: the paper's DB, a finite
 // set of facts grouped by relation symbol.
+//
+// A Database is safe for concurrent use: Put and the read accessors may
+// be called from multiple goroutines (the mr package's DAG scheduler
+// publishes job outputs into a shared working database while dependent
+// jobs read their inputs from it). Individual Relations are not locked;
+// callers must not mutate a relation after publishing it with Put.
 type Database struct {
+	mu    sync.RWMutex
 	rels  map[string]*Relation
 	order []string // deterministic iteration order (insertion order)
 }
@@ -163,6 +171,8 @@ func NewDatabase() *Database {
 // Put registers rel under its name, replacing any existing relation with
 // the same name.
 func (db *Database) Put(rel *Relation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, exists := db.rels[rel.Name()]; !exists {
 		db.order = append(db.order, rel.Name())
 	}
@@ -170,16 +180,24 @@ func (db *Database) Put(rel *Relation) {
 }
 
 // Relation returns the relation with the given name, or nil.
-func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+func (db *Database) Relation(name string) *Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.rels[name]
+}
 
 // Has reports whether a relation with the given name exists.
 func (db *Database) Has(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, ok := db.rels[name]
 	return ok
 }
 
 // Names returns relation names in insertion order.
 func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.order))
 	copy(out, db.order)
 	return out
@@ -187,6 +205,8 @@ func (db *Database) Names() []string {
 
 // Relations returns all relations in insertion order.
 func (db *Database) Relations() []*Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]*Relation, 0, len(db.order))
 	for _, n := range db.order {
 		out = append(out, db.rels[n])
@@ -196,6 +216,8 @@ func (db *Database) Relations() []*Relation {
 
 // Bytes returns the total modelled size of all relations.
 func (db *Database) Bytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var total int64
 	for _, r := range db.rels {
 		total += r.Bytes()
@@ -205,6 +227,8 @@ func (db *Database) Bytes() int64 {
 
 // Clone returns a deep copy of the database.
 func (db *Database) Clone() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	c := NewDatabase()
 	for _, n := range db.order {
 		c.Put(db.rels[n].Clone())
@@ -214,6 +238,8 @@ func (db *Database) Clone() *Database {
 
 // String summarizes the database contents.
 func (db *Database) String() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var sb strings.Builder
 	sb.WriteString("DB{")
 	for i, n := range db.order {
