@@ -207,6 +207,7 @@ func BenchmarkMSJJob(b *testing.B) {
 		b.Fatal(err)
 	}
 	engine := mr.NewEngine(cost.Default().Scaled(0.0005))
+	b.ReportAllocs() // tracks mapper-side key building + engine record flow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := engine.RunJob(job, db); err != nil {
@@ -225,6 +226,7 @@ func BenchmarkOneRoundJob(b *testing.B) {
 		b.Fatal(err)
 	}
 	engine := mr.NewEngine(cost.Default().Scaled(0.0005))
+	b.ReportAllocs() // tracks mapper-side key building + engine record flow
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := engine.RunJob(job, db); err != nil {

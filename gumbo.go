@@ -127,9 +127,17 @@ func WithScale(f float64) Option {
 // engine: phaseWorkers goroutines per map/shuffle/reduce phase, and up
 // to concurrentJobs dependency-independent jobs of a plan running at a
 // time (the DAG-parallel program scheduler). Zero for either means
-// GOMAXPROCS; 1 forces sequential execution. Outputs, stats and
-// simulated metrics are identical at every setting — only wall-clock
-// time changes.
+// GOMAXPROCS; 1 forces sequential execution.
+//
+// Determinism contract: every Result field — output relations including
+// their tuple iteration order, per-job stats, and simulated metrics —
+// is bit-for-bit identical at every setting of both knobs; only host
+// wall-clock time and memory change. The engine guarantees this by
+// partitioning shuffle output in map-task order, reducing keys in
+// sorted order with messages in arrival order, merging job outputs in
+// sorted-name/reducer-index order, and having the DAG scheduler publish
+// finished jobs' outputs before releasing dependents (see
+// docs/ARCHITECTURE.md, "Determinism contract").
 func WithHostParallelism(phaseWorkers, concurrentJobs int) Option {
 	return func(s *System) {
 		s.phaseWorkers = phaseWorkers
@@ -150,7 +158,13 @@ func New(opts ...Option) *System {
 type Result struct {
 	// Relation is the query program's final output relation.
 	Relation *Relation
-	// Outputs contains every output relation the program defines.
+	// Outputs contains every relation the executed program produced,
+	// including intermediate MSJ outputs. Iteration order
+	// (Database.Relations) is deterministic and schedule-independent:
+	// jobs in plan-declared order, and within one job its output
+	// relations in sorted-name order. Tuples within each relation are
+	// likewise in a deterministic order (reduce tasks merge in reducer
+	// index order, each reducer emits keys in ascending key order).
 	Outputs *Database
 	// Metrics are the measured/simulated performance metrics.
 	Metrics Metrics
@@ -277,8 +291,23 @@ func (s *System) Run(q *Query, db *Database, strategy Strategy) (*Result, error)
 	}, nil
 }
 
-// Auto picks a strategy for q: the fused 1-ROUND job when every query
-// admits it, GreedySGF for nested programs, and Greedy otherwise.
+// Auto picks a strategy for q by structure, cheapest applicable shape
+// first:
+//
+//  1. if any subquery depends on another subquery's output (a nested
+//     program), GreedySGF — the only cost-based strategy that handles
+//     dependencies;
+//  2. else if every query admits the fused map/reduce form (all its
+//     conditional atoms share one join key, or its condition is a pure
+//     disjunction of possibly negated atoms — see
+//     core.OneRoundApplicable), OneRound — one MR round, no
+//     intermediate X relations;
+//  3. else Greedy — cost-based grouping of the flat query set's
+//     semi-join equations into shared MSJ jobs.
+//
+// Auto inspects only the query's structure, never the database, so its
+// choice is stable across databases; use Plan with an explicit strategy
+// to compare alternatives under the cost model.
 func (s *System) Auto(q *Query) Strategy {
 	g := sgf.BuildDepGraph(q.prog)
 	nested := false

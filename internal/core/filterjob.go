@@ -51,15 +51,16 @@ func NewFilterJob(name string, step FilterStep) (*mr.Job, error) {
 	}
 
 	mapper := mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+		var kb [32]byte // append-style shuffle keys, see NewMSJJob
 		if input == step.GuardRel && guardMatcher.Matches(t) {
 			out := t
 			if projectSet {
 				out = project.Apply(t)
 			}
-			emit(guardProj.Apply(t).Key(), ReqTuple{Q: 0, Disjunct: -1, Out: out})
+			emit(string(guardProj.AppendKey(kb[:0], t)), ReqTuple{Q: 0, Disjunct: -1, Out: out})
 		}
 		if input == step.Cond.Rel && condMatcher.Matches(t) {
-			emit(condProj.Apply(t).Key(), Assert{Class: 0})
+			emit(string(condProj.AppendKey(kb[:0], t)), Assert{Class: 0})
 		}
 	})
 
@@ -107,8 +108,9 @@ func NewUnionProjectJob(name, out string, guard sgf.Atom, selectVars []string, b
 		if !matcher.Matches(t) {
 			return
 		}
+		var kb [32]byte
 		p := project.Apply(t)
-		emit(p.Key(), TupleVal{T: p})
+		emit(string(p.AppendKey(kb[:0])), TupleVal{T: p})
 	})
 	reducer := mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
 		if len(msgs) > 0 {

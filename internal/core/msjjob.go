@@ -91,15 +91,19 @@ func NewMSJJob(name string, eqs []Equation) (*mr.Job, error) {
 	}
 
 	mapper := mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+		// Shuffle keys are built append-style into one stack buffer
+		// (string() copies at emit), skipping the projected tuple and
+		// builder allocations of proj.Apply(t).Key().
+		var kb [32]byte
 		for _, g := range guardRoles[input] {
 			if g.matcher.Matches(t) {
-				emit(g.proj.Apply(t).Key(), ReqID{Eq: g.eq, ID: int64(id)})
+				emit(string(g.proj.AppendKey(kb[:0], t)), ReqID{Eq: g.eq, ID: int64(id)})
 			}
 		}
 		for _, ci := range assertRoles[input] {
 			c := classes[ci]
 			if c.matcher.Matches(t) {
-				emit(c.proj.Apply(t).Key(), Assert{Class: ci})
+				emit(string(c.proj.AppendKey(kb[:0], t)), Assert{Class: ci})
 			}
 		}
 	})

@@ -240,6 +240,7 @@ func NewOneRoundJob(name string, queries []*sgf.BSGF) (*mr.Job, error) {
 	}
 
 	mapper := mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+		var kb [32]byte // append-style shuffle keys, see NewMSJJob
 		for _, gr := range guardRoles[input] {
 			spec := &qspecs[gr.q]
 			if !spec.matcher.Matches(t) {
@@ -247,14 +248,14 @@ func NewOneRoundJob(name string, queries []*sgf.BSGF) (*mr.Job, error) {
 			}
 			out := spec.project.Apply(t)
 			for di := range spec.groups {
-				emit(spec.groups[di].proj.Apply(t).Key(),
+				emit(string(spec.groups[di].proj.AppendKey(kb[:0], t)),
 					ReqTuple{Q: gr.q, Disjunct: int32(di), Out: out})
 			}
 		}
 		for _, ci := range assertRoles[input] {
 			c := classes[ci]
 			if c.matcher.Matches(t) {
-				emit(c.proj.Apply(t).Key(), Assert{Class: ci})
+				emit(string(c.proj.AppendKey(kb[:0], t)), Assert{Class: ci})
 			}
 		}
 	})

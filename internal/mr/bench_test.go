@@ -1,0 +1,110 @@
+package mr
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// benchShuffleDB builds a semi-join input large enough that RunJob's
+// map/shuffle/reduce hot path dominates: 50k guard tuples over 509 join
+// keys plus a small, selective conditional relation (8 matching keys, so
+// reducer output stays tiny and the measurement tracks record flow, not
+// output-relation construction).
+func benchShuffleDB() *relation.Database {
+	tuples := make([]relation.Tuple, 0, 50000)
+	for i := int64(0); i < 50000; i++ {
+		tuples = append(tuples, tup(i, i%509))
+	}
+	cond := make([]relation.Tuple, 0, 8)
+	for i := int64(0); i < 8; i++ {
+		cond = append(cond, tup(i*11))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples))
+	db.Put(relation.FromTuples("S", 1, cond))
+	return db
+}
+
+// benchShuffleJob is semijoinJob with the mapper's shuffle keys
+// precomputed per join value: emitting allocates nothing, so the
+// benchmark isolates the engine's per-record work (record handling,
+// packing, shuffle partitioning, grouping, accounting) from key
+// construction, which BenchmarkMSJJob at the repo root covers.
+func benchShuffleJob(packing bool) *Job {
+	keys := make([]string, 509)
+	for v := range keys {
+		keys[v] = tup(int64(v)).Key()
+	}
+	// Preconstructed messages: emitting boxes no interface value, so
+	// allocs/op counts only what the engine itself does per record.
+	var req Message = intMsg(1000)
+	var assert Message = intMsg(-1)
+	job := semijoinJob(packing)
+	job.Mapper = MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+		switch input {
+		case "R":
+			emit(keys[t[1]], req)
+		case "S":
+			emit(keys[t[0]], assert)
+		}
+	})
+	return job
+}
+
+// BenchmarkRunJobShuffle measures one full packed semi-join job — map,
+// pack, shuffle partitioning, sort-based reduce, merge — end to end.
+// allocs/op is the headline number: the engine's hot path should stay
+// allocation-lean as records flow through every phase.
+func BenchmarkRunJobShuffle(b *testing.B) {
+	db := benchShuffleDB()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	job := benchShuffleJob(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunJob(job, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPartition builds one reduce partition: n records spread over k
+// distinct keys, every eighth record packed (as the packing optimization
+// produces), in round-robin key order.
+func benchPartition(n, k int) []record {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = relation.Tuple{relation.Value(i)}.Key()
+	}
+	recs := make([]record, 0, n)
+	for i := 0; i < n; i++ {
+		var msg Message = intMsg(i)
+		if i%8 == 0 {
+			msg = Packed{Msgs: []Message{intMsg(i), intMsg(i + 1)}}
+		}
+		recs = append(recs, record{key: keys[i%k], msg: msg})
+	}
+	return recs
+}
+
+// BenchmarkReduceGrouping measures grouping one reduce partition by key
+// (the per-reducer work between shuffle and the user Reducer), isolated
+// from the rest of the engine.
+func BenchmarkReduceGrouping(b *testing.B) {
+	recs := benchPartition(1<<16, 1<<10)
+	want := len(recs) + len(recs)/8 // packed records carry two messages
+	if len(recs)%8 != 0 {
+		want++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		forEachGroup(recs, func(key string, msgs []Message) { n += len(msgs) })
+		if n != want {
+			b.Fatalf("flattened %d messages, want %d", n, want)
+		}
+	}
+}

@@ -2,10 +2,10 @@ package mr
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/relation"
@@ -17,6 +17,14 @@ import (
 // exploits this by scheduling dependency-independent jobs of a program
 // concurrently on the host (the cluster simulator still models parallel
 // net time; host concurrency only shortens wall-clock time).
+//
+// The per-record hot path is allocation-lean by design: record sizes are
+// computed once at emit time, shuffle keys are hashed with an inlined
+// FNV-1a (no hasher object), shuffle partitions are built with counted
+// two-pass placement into one backing array per task, and reduce-side
+// grouping is sort-based (see group.go). None of this changes what the
+// engine computes — outputs and stats are bit-for-bit identical at every
+// parallelism setting and to the earlier hash-grouping engine.
 type Engine struct {
 	Cost        cost.Config
 	Parallelism int // worker goroutines per phase; 0 = GOMAXPROCS
@@ -43,12 +51,6 @@ func (e *Engine) jobWorkers() int {
 		return e.JobParallelism
 	}
 	return runtime.GOMAXPROCS(0)
-}
-
-// record is one map output record: a key and a (possibly packed) message.
-type record struct {
-	key string
-	msg Message
 }
 
 // mapTaskResult is the output of one map task.
@@ -82,7 +84,7 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 		if rel == nil {
 			return nil, JobStats{}, fmt.Errorf("mr: job %s: unknown input relation %q", job.Name, name)
 		}
-		inputMB := float64(rel.Bytes()) / MB
+		inputMB := mbOf(rel.Bytes())
 		m := e.Cost.Mappers(inputMB)
 		if m > rel.Size() && rel.Size() > 0 {
 			m = rel.Size()
@@ -99,22 +101,39 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 			tasks = append(tasks, taskSpec{input: name, partIdx: partIdx, rel: rel, from: from, to: to})
 		}
 	}
+	// recsPerKTuples[part] is a running estimate of map output records
+	// per 1024 input tuples, published by finished tasks and used to
+	// pre-size later tasks' record buffers. Gumbo's mappers are near
+	// uniform per input (the same property Engine.Sample relies on to
+	// extrapolate M_i from a strided sample), so the estimate converges
+	// after the part's first task; the first task falls back to one
+	// record per tuple, the common case for request/assert mappers. The
+	// estimate only sets capacity — results never depend on it.
+	recsPerKTuples := make([]atomic.Int64, len(stats.Parts))
 	results := make([]mapTaskResult, len(tasks))
 	if err := parallelFor(e.workers(), len(tasks), func(ti int) error {
 		ts := tasks[ti]
-		var recs []record
+		n := ts.to - ts.from
+		capHint := n
+		if est := recsPerKTuples[ts.partIdx].Load(); est > 0 {
+			capHint = int(est*int64(n)/1024) + 8
+		}
+		recs := make([]record, 0, capHint)
 		emit := func(key string, msg Message) {
-			recs = append(recs, record{key: key, msg: msg})
+			recs = append(recs, record{key: key, msg: msg, size: KeyBytes(key) + msg.SizeBytes()})
 		}
 		for i := ts.from; i < ts.to; i++ {
 			job.Mapper.Map(ts.input, i, ts.rel.Tuple(i), emit)
+		}
+		if n > 0 {
+			recsPerKTuples[ts.partIdx].Store(int64(len(recs)) * 1024 / int64(n))
 		}
 		if job.Packing {
 			recs = packRecords(recs)
 		}
 		var bytes int64
 		for _, r := range recs {
-			bytes += KeyBytes(r.key) + r.msg.SizeBytes()
+			bytes += r.size
 		}
 		results[ti] = mapTaskResult{records: recs, bytes: bytes}
 		return nil
@@ -123,7 +142,7 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 	}
 	for ti, ts := range tasks {
 		p := &stats.Parts[ts.partIdx]
-		p.InterMB += float64(results[ti].bytes) / MB * inflate
+		p.InterMB += mbOf(results[ti].bytes) * inflate
 		p.Records += int64(len(results[ti].records))
 	}
 	stats.MapTasks = len(tasks)
@@ -163,21 +182,41 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 	// Each map task partitions its own output independently; per-reducer
 	// slices are then concatenated in task order, so the records each
 	// reducer sees — and the measured loads — are identical to a serial
-	// pass over the tasks.
+	// pass over the tasks. Placement is a counted two-pass: count each
+	// reducer's records, then carve per-reducer sub-slices out of one
+	// backing array, so a task allocates three slices regardless of the
+	// reducer count instead of growing `reducers` appends.
 	type taskPartition struct {
 		parts [][]record
 		loads []int64
 	}
 	taskParts := make([]taskPartition, len(results))
 	if err := parallelFor(e.workers(), len(results), func(ti int) error {
+		recs := results[ti].records
 		tp := taskPartition{
 			parts: make([][]record, reducers),
 			loads: make([]int64, reducers),
 		}
-		for _, r := range results[ti].records {
-			p := int(hashKey(r.key) % uint32(reducers))
-			tp.parts[p] = append(tp.parts[p], r)
-			tp.loads[p] += KeyBytes(r.key) + r.msg.SizeBytes()
+		if len(recs) > 0 {
+			target := make([]int32, len(recs))
+			counts := make([]int32, reducers)
+			for i, r := range recs {
+				p := int32(hashKey(r.key) % uint32(reducers))
+				target[i] = p
+				counts[p]++
+				tp.loads[p] += r.size
+			}
+			buf := make([]record, len(recs))
+			off := 0
+			for p := 0; p < reducers; p++ {
+				c := int(counts[p])
+				tp.parts[p] = buf[off : off : off+c]
+				off += c
+			}
+			for i, r := range recs {
+				p := target[i]
+				tp.parts[p] = append(tp.parts[p], r)
+			}
 		}
 		taskParts[ti] = tp
 		return nil
@@ -205,32 +244,17 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 	}
 	stats.ReduceLoadMB = make([]float64, reducers)
 	for i, l := range loads {
-		stats.ReduceLoadMB[i] = float64(l) / MB * inflate
+		stats.ReduceLoadMB[i] = mbOf(l) * inflate
 	}
 
-	// ---- Reduce phase ----
+	// ---- Reduce phase: sort each partition by key, walk key runs ----
 	outs := make([]*Output, reducers)
 	if err := parallelFor(e.workers(), reducers, func(ri int) error {
 		out := newOutput(job.Outputs)
 		outs[ri] = out
-		groups := make(map[string][]Message)
-		var keys []string
-		for _, r := range partitions[ri] {
-			msgs, seen := groups[r.key]
-			if !seen {
-				keys = append(keys, r.key)
-			}
-			if packed, ok := r.msg.(Packed); ok {
-				msgs = append(msgs, packed.Msgs...)
-			} else {
-				msgs = append(msgs, r.msg)
-			}
-			groups[r.key] = msgs
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			job.Reducer.Reduce(k, groups[k], out)
-		}
+		forEachGroup(partitions[ri], func(key string, msgs []Message) {
+			job.Reducer.Reduce(key, msgs, out)
+		})
 		return nil
 	}); err != nil {
 		return nil, JobStats{}, err
@@ -248,7 +272,7 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 			}
 		}
 		outDB.Put(merged)
-		stats.OutputMB += float64(merged.Bytes()) / MB
+		stats.OutputMB += mbOf(merged.Bytes())
 	}
 	return outDB, stats, nil
 }
@@ -263,37 +287,29 @@ func outputOrder(outputs map[string]int) []string {
 	return names
 }
 
-// packRecords groups same-key records of one map task into single packed
-// records, preserving first-occurrence key order.
-func packRecords(recs []record) []record {
-	groups := make(map[string][]Message, len(recs))
-	var order []string
-	for _, r := range recs {
-		if _, seen := groups[r.key]; !seen {
-			order = append(order, r.key)
-		}
-		groups[r.key] = append(groups[r.key], r.msg)
-	}
-	out := make([]record, 0, len(order))
-	for _, k := range order {
-		msgs := groups[k]
-		if len(msgs) == 1 {
-			out = append(out, record{key: k, msg: msgs[0]})
-		} else {
-			out = append(out, record{key: k, msg: Packed{Msgs: msgs}})
-		}
-	}
-	return out
-}
-
+// hashKey is FNV-1a over the key bytes, inlined so hashing a record
+// costs no hasher object and no string→[]byte copy. It is bit-identical
+// to hash/fnv's New32a, which earlier engine versions used: shuffle
+// partition assignments — and therefore per-reducer loads — are
+// unchanged.
 func hashKey(key string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return h.Sum32()
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
 }
 
-// parallelFor runs fn(0..n-1) on up to `workers` goroutines and returns
-// the first error.
+// parallelFor runs fn(0..n-1) on up to `workers` goroutines. Indices are
+// handed out as contiguous chunks through a single atomic counter — no
+// mutex on the hot path, and chunking keeps tiny per-index bodies from
+// thrashing the counter. On error the remaining chunks are abandoned and
+// the lowest-indexed recorded error is returned.
 func parallelFor(workers, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -309,36 +325,44 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 		}
 		return nil
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			if err != nil || next >= n {
-				mu.Unlock()
-				return
-			}
-			i := next
-			next++
-			mu.Unlock()
-			if e := fn(i); e != nil {
-				mu.Lock()
-				if err == nil {
-					err = e
-				}
-				mu.Unlock()
-				return
-			}
-		}
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
 	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx int
+		err    error
+	)
+	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go worker()
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if e := fn(i); e != nil {
+						mu.Lock()
+						if err == nil || i < errIdx {
+							err, errIdx = e, i
+						}
+						mu.Unlock()
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	return err
@@ -347,38 +371,43 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 // Sample runs the job's mapper over every SampleEvery-th tuple of each
 // input and extrapolates the intermediate size per input: the sampling
 // step Gumbo uses to estimate M_i before running a job (§5.1 opt (3)).
+// Sampling only counts — it never materializes records, so it allocates
+// nothing beyond what the mapper itself emits. The running record and
+// byte counters are shared by one emit closure across inputs and reset
+// per input: each returned PartStats reflects exactly one input.
 func (e *Engine) Sample(job *Job, db *relation.Database) ([]PartStats, error) {
 	stride := e.SampleEvery
 	if stride <= 0 {
 		stride = 100
 	}
-	var parts []PartStats
+	parts := make([]PartStats, 0, len(job.Inputs))
+	var records int64
+	var bytes int64
+	emit := func(key string, msg Message) {
+		records++
+		bytes += KeyBytes(key) + msg.SizeBytes()
+	}
 	for _, name := range job.Inputs {
 		rel := db.Relation(name)
 		if rel == nil {
 			return nil, fmt.Errorf("mr: sample: unknown input relation %q", name)
 		}
-		var recs []record
-		emit := func(key string, msg Message) { recs = append(recs, record{key, msg}) }
+		records, bytes = 0, 0 // counters are per input
 		sampled := 0
 		for i := 0; i < rel.Size(); i += stride {
 			job.Mapper.Map(name, i, rel.Tuple(i), emit)
 			sampled++
 		}
-		var bytes int64
-		for _, r := range recs {
-			bytes += KeyBytes(r.key) + r.msg.SizeBytes()
-		}
 		scale := 0.0
 		if sampled > 0 {
 			scale = float64(rel.Size()) / float64(sampled)
 		}
-		inputMB := float64(rel.Bytes()) / MB
+		inputMB := mbOf(rel.Bytes())
 		parts = append(parts, PartStats{
 			Input:   name,
 			InputMB: inputMB,
-			InterMB: float64(bytes) / MB * scale,
-			Records: int64(float64(len(recs)) * scale),
+			InterMB: mbOf(bytes) * scale,
+			Records: int64(float64(records) * scale),
 			Mappers: e.Cost.Mappers(inputMB),
 		})
 	}

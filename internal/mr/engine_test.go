@@ -40,11 +40,12 @@ func semijoinJob(packing bool) *Job {
 		Outputs: map[string]int{"Z": 2},
 		Packing: packing,
 		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
+			var kb [12]byte
 			switch input {
 			case "R":
-				emit(relation.Tuple{t[1]}.Key(), intMsg(int64(id)+1000))
+				emit(string(t[1].AppendKey(kb[:0])), intMsg(int64(id)+1000))
 			case "S":
-				emit(relation.Tuple{t[0]}.Key(), intMsg(-1))
+				emit(string(t[0].AppendKey(kb[:0])), intMsg(-1))
 			}
 		}),
 		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
@@ -264,6 +265,41 @@ func TestSampleEstimates(t *testing.T) {
 	actual := stats.Parts[0].InterMB
 	if estimate < actual*0.9 || estimate > actual*1.1 {
 		t.Errorf("sampled estimate %v vs actual %v", estimate, actual)
+	}
+}
+
+// TestSamplePerInputIsolation guards against the sampling counters
+// leaking across inputs: Sample shares one emit closure over all inputs,
+// so a missing reset would fold every earlier input's records and bytes
+// into each later input's PartStats.
+func TestSamplePerInputIsolation(t *testing.T) {
+	var tuples []relation.Tuple
+	for i := int64(0); i < 400; i++ {
+		tuples = append(tuples, tup(i, i%7))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples)) // sampled first, 400 emits
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{tup(0), tup(3), tup(6)}))
+	e := NewEngine(cost.Default())
+	e.SampleEvery = 1 // exact: every tuple sampled, scale 1
+	parts, err := e.Sample(semijoinJob(false), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[0].Records != 400 {
+		t.Errorf("R records = %d, want 400", parts[0].Records)
+	}
+	// The semijoin mapper emits exactly one record per S tuple; if R's
+	// 400 records leaked into S's counters this would be 403.
+	if parts[1].Records != 3 {
+		t.Errorf("S records = %d, want 3 (counter leaked across inputs?)", parts[1].Records)
+	}
+	wantMB := float64(3*(KeyBytes(tup(0).Key())+8)) / MB
+	if parts[1].InterMB != wantMB {
+		t.Errorf("S InterMB = %v, want %v", parts[1].InterMB, wantMB)
 	}
 }
 

@@ -1,0 +1,183 @@
+package mr
+
+import (
+	"slices"
+	"strings"
+)
+
+// record is one map-output record: a key, a (possibly packed) message,
+// and the record's modelled size in bytes (key + payload). The size is
+// computed once when the record is emitted so that the later phases —
+// per-part byte accounting, shuffle load measurement — sum a plain field
+// instead of re-walking messages through the Message interface.
+//
+// A record produced by packRecords carries its same-key message run in
+// packed rather than msg: keeping the run as a plain slice (sliced from
+// a per-task arena) saves both the interface box a Packed message would
+// cost and the per-key slice allocation. Mappers can still emit a Packed
+// message themselves; both forms flatten identically at reduce time.
+type record struct {
+	key    string
+	msg    Message   // single message; nil when packed is set
+	packed []Message // packed same-key run (engine-internal transport)
+	size   int64
+}
+
+// keyRef pairs a record index with the first eight bytes of its key,
+// packed big-endian so uint64 order equals lexicographic order. Sorting
+// keyRefs instead of records keeps the sort's data moves small and makes
+// most comparisons a register compare instead of a string compare
+// through a pointer.
+type keyRef struct {
+	prefix uint64
+	idx    int32
+}
+
+// keyPrefix packs up to the first eight bytes of s big-endian,
+// zero-padded on the right.
+func keyPrefix(s string) uint64 {
+	n := len(s)
+	if n > 8 {
+		n = 8
+	}
+	var p uint64
+	for i := 0; i < n; i++ {
+		p |= uint64(s[i]) << (56 - 8*uint(i))
+	}
+	return p
+}
+
+// sortIndexByKey returns record indices ordered so that walking them
+// visits keys in ascending order and, within one key, records in arrival
+// order. The sort is unstable by key (pdqsort's equal-element handling
+// collapses the long duplicate-key runs a shuffle partition is made of);
+// arrival order within each run is restored afterwards with a cheap
+// integer sort by the callers. Comparisons resolve on the packed key
+// prefix whenever they can: equal prefixes with both keys within eight
+// bytes order by length (the shorter key is a zero-padded prefix of the
+// longer), and only longer keys fall back to a full string compare.
+func sortIndexByKey(recs []record) []int32 {
+	refs := make([]keyRef, len(recs))
+	for i := range recs {
+		refs[i] = keyRef{prefix: keyPrefix(recs[i].key), idx: int32(i)}
+	}
+	slices.SortFunc(refs, func(a, b keyRef) int {
+		if a.prefix != b.prefix {
+			if a.prefix < b.prefix {
+				return -1
+			}
+			return 1
+		}
+		ka, kb := recs[a.idx].key, recs[b.idx].key
+		if len(ka) <= 8 && len(kb) <= 8 {
+			return len(ka) - len(kb)
+		}
+		return strings.Compare(ka, kb)
+	})
+	idx := make([]int32, len(refs))
+	for i, r := range refs {
+		idx[i] = r.idx
+	}
+	return idx
+}
+
+// runEnd returns the end of the key run starting at idx[i].
+func runEnd(recs []record, idx []int32, i int) int {
+	key := recs[idx[i]].key
+	j := i + 1
+	for j < len(idx) && recs[idx[j]].key == key {
+		j++
+	}
+	return j
+}
+
+// forEachGroup groups one reduce partition's records by key and calls fn
+// once per distinct key, in ascending key order, with the key's messages
+// in arrival order (Packed messages flattened). This is the sort-based
+// replacement for hash grouping: a sorted index is walked as key runs,
+// so grouping a whole partition allocates one index array and one
+// message buffer rather than a map entry and slice per key. The message
+// buffer is reused across calls — fn must not retain msgs after it
+// returns (the engine's Reducer contract, see Reducer).
+func forEachGroup(recs []record, fn func(key string, msgs []Message)) {
+	if len(recs) == 0 {
+		return
+	}
+	idx := sortIndexByKey(recs)
+	var msgs []Message
+	for i := 0; i < len(idx); {
+		j := runEnd(recs, idx, i)
+		run := idx[i:j]
+		slices.Sort(run) // arrival order within the key
+		msgs = msgs[:0]
+		for _, id := range run {
+			r := &recs[id]
+			if r.packed != nil {
+				// Engine-packed run; elements may still be Packed values
+				// a mapper emitted, which flatten one level like
+				// everywhere else.
+				for _, m := range r.packed {
+					if packed, ok := m.(Packed); ok {
+						msgs = append(msgs, packed.Msgs...)
+					} else {
+						msgs = append(msgs, m)
+					}
+				}
+			} else if packed, ok := r.msg.(Packed); ok {
+				msgs = append(msgs, packed.Msgs...)
+			} else {
+				msgs = append(msgs, r.msg)
+			}
+		}
+		fn(recs[run[0]].key, msgs)
+		i = j
+	}
+}
+
+// packRecords applies the message-packing optimization (§5.1 opt (1)) to
+// one map task's output: all messages sharing a key collapse into a
+// single Packed record whose key is charged once. Like forEachGroup it
+// is sort-based (sorted index, key runs, arrival order within a run).
+// Record keys come out in ascending order rather than first-occurrence
+// order; the engine's accounting and the reduce phase are insensitive to
+// record order (bytes are summed, reducers re-sort), so measured stats
+// and outputs are unchanged. Sizes are maintained arithmetically from
+// the constituent records: payload bytes are kept, duplicate key charges
+// dropped.
+func packRecords(recs []record) []record {
+	if len(recs) == 0 {
+		return recs
+	}
+	idx := sortIndexByKey(recs)
+	out := make([]record, 0, len(recs))
+	// One message arena per task: every packed run is a sub-slice, so
+	// packing costs two allocations per map task however many keys the
+	// task emits.
+	var arena []Message
+	used := 0
+	for i := 0; i < len(idx); {
+		j := runEnd(recs, idx, i)
+		if j == i+1 {
+			out = append(out, recs[idx[i]])
+			i = j
+			continue
+		}
+		run := idx[i:j]
+		slices.Sort(run) // arrival order within the key
+		if arena == nil {
+			arena = make([]Message, len(recs)) // upper bound on packed messages
+		}
+		msgs := arena[used : used : used+len(run)]
+		used += len(run)
+		first := &recs[run[0]]
+		kb := KeyBytes(first.key)
+		size := kb
+		for _, id := range run {
+			msgs = append(msgs, recs[id].msg)
+			size += recs[id].size - kb // keep payload bytes, drop the duplicate key charge
+		}
+		out = append(out, record{key: first.key, packed: msgs, size: size})
+		i = j
+	}
+	return out
+}

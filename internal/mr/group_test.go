@@ -1,0 +1,221 @@
+package mr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mkrec builds a record the way the engine's emit does, with the size
+// computed up front.
+func mkrec(key string, msg Message) record {
+	return record{key: key, msg: msg, size: KeyBytes(key) + msg.SizeBytes()}
+}
+
+// refGroup is the engine's pre-sort-based reduce grouping (hash map +
+// sorted key list), kept as the oracle the sort-based grouping must
+// reproduce byte for byte.
+func refGroup(recs []record, fn func(key string, msgs []Message)) {
+	groups := make(map[string][]Message)
+	var keys []string
+	for _, r := range recs {
+		msgs, seen := groups[r.key]
+		if !seen {
+			keys = append(keys, r.key)
+		}
+		if packed, ok := r.msg.(Packed); ok {
+			msgs = append(msgs, packed.Msgs...)
+		} else {
+			msgs = append(msgs, r.msg)
+		}
+		groups[r.key] = msgs
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, groups[k])
+	}
+}
+
+// groupTrace renders a grouping pass as one string: key, then each
+// message in delivery order. Comparing traces compares key order, group
+// boundaries and message order at once.
+func groupTrace(group func([]record, func(string, []Message)), recs []record) string {
+	var out string
+	group(recs, func(key string, msgs []Message) {
+		out += fmt.Sprintf("%q:", key)
+		for _, m := range msgs {
+			out += fmt.Sprintf("%v,", m)
+		}
+		out += ";"
+	})
+	return out
+}
+
+func TestForEachGroupEmptyPartition(t *testing.T) {
+	called := false
+	forEachGroup(nil, func(string, []Message) { called = true })
+	forEachGroup([]record{}, func(string, []Message) { called = true })
+	if called {
+		t.Error("forEachGroup called fn on an empty partition")
+	}
+}
+
+func TestForEachGroupSingleKeyRun(t *testing.T) {
+	recs := []record{
+		mkrec("k", intMsg(1)),
+		mkrec("k", intMsg(2)),
+		mkrec("k", intMsg(3)),
+	}
+	got := groupTrace(forEachGroup, recs)
+	if want := `"k":1,2,3,;`; got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+func TestForEachGroupFlattensPacked(t *testing.T) {
+	recs := []record{
+		mkrec("b", Packed{Msgs: []Message{intMsg(10), intMsg(11)}}),
+		mkrec("a", intMsg(1)),
+		mkrec("b", intMsg(12)),
+		mkrec("a", Packed{Msgs: []Message{intMsg(2)}}),
+	}
+	got := groupTrace(forEachGroup, recs)
+	if want := `"a":1,2,;"b":10,11,12,;`; got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+// TestForEachGroupMatchesMapGrouping drives both groupings over
+// randomized partitions — skewed keys, packed and plain messages — and
+// requires identical traces: same key order, same group boundaries,
+// same message order.
+func TestForEachGroupMatchesMapGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(400)
+		keys := rng.Intn(20) + 1
+		recs := make([]record, 0, n)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(keys))
+			var msg Message = intMsg(i)
+			if rng.Intn(4) == 0 {
+				packed := make([]Message, rng.Intn(3)+1)
+				for j := range packed {
+					packed[j] = intMsg(1000*i + j)
+				}
+				msg = Packed{Msgs: packed}
+			}
+			recs = append(recs, mkrec(key, msg))
+		}
+		// forEachGroup sorts in place; hand each grouping its own copy.
+		mine := make([]record, len(recs))
+		copy(mine, recs)
+		got := groupTrace(forEachGroup, mine)
+		want := groupTrace(refGroup, recs)
+		if got != want {
+			t.Fatalf("trial %d: sort-based grouping diverged:\n got %s\nwant %s", trial, got, want)
+		}
+	}
+}
+
+// refPack is the engine's pre-sort-based packing (first-occurrence key
+// order). packRecords now emits ascending key order, so the comparison
+// normalizes both sides through a grouping pass.
+func refPack(recs []record) []record {
+	groups := make(map[string][]Message, len(recs))
+	var order []string
+	for _, r := range recs {
+		if _, seen := groups[r.key]; !seen {
+			order = append(order, r.key)
+		}
+		groups[r.key] = append(groups[r.key], r.msg)
+	}
+	out := make([]record, 0, len(order))
+	for _, k := range order {
+		msgs := groups[k]
+		if len(msgs) == 1 {
+			out = append(out, mkrec(k, msgs[0]))
+		} else {
+			out = append(out, mkrec(k, Packed{Msgs: msgs}))
+		}
+	}
+	return out
+}
+
+func TestPackRecordsMatchesMapPacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		keys := rng.Intn(15) + 1
+		recs := make([]record, 0, n)
+		for i := 0; i < n; i++ {
+			recs = append(recs, mkrec(fmt.Sprintf("k%03d", rng.Intn(keys)), intMsg(i)))
+		}
+		want := refPack(append([]record(nil), recs...))
+		got := packRecords(append([]record(nil), recs...))
+
+		// Same packed bytes and record count.
+		var wantBytes, gotBytes int64
+		for _, r := range want {
+			wantBytes += KeyBytes(r.key) + r.msg.SizeBytes()
+		}
+		for _, r := range got {
+			gotBytes += r.size
+			recomputed := KeyBytes(r.key)
+			if r.packed != nil {
+				for _, m := range r.packed {
+					recomputed += m.SizeBytes()
+				}
+			} else {
+				recomputed += r.msg.SizeBytes()
+			}
+			if r.size != recomputed {
+				t.Fatalf("trial %d: key %q: stored size %d != recomputed %d",
+					trial, r.key, r.size, recomputed)
+			}
+		}
+		if len(got) != len(want) || gotBytes != wantBytes {
+			t.Fatalf("trial %d: packed %d records/%d bytes, want %d/%d",
+				trial, len(got), gotBytes, len(want), wantBytes)
+		}
+		// Same groups in the same per-key message order once grouped —
+		// the only property the reduce phase observes.
+		gt := groupTrace(forEachGroup, got)
+		wt := groupTrace(forEachGroup, want)
+		if gt != wt {
+			t.Fatalf("trial %d: packing diverged after grouping:\n got %s\nwant %s", trial, gt, wt)
+		}
+	}
+}
+
+// TestPackedFlattensInsidePackedRun pins the flattening contract of
+// types.go (Reducer/Packed docs): a mapper-emitted Packed message is
+// flattened for the reducer whether its record stays a singleton or is
+// folded into an engine-packed run with other same-key records.
+func TestPackedFlattensInsidePackedRun(t *testing.T) {
+	recs := []record{
+		mkrec("k", Packed{Msgs: []Message{intMsg(1), intMsg(2)}}),
+		mkrec("k", intMsg(3)),
+		mkrec("solo", Packed{Msgs: []Message{intMsg(7), intMsg(8)}}),
+	}
+	packed := packRecords(append([]record(nil), recs...))
+	got := groupTrace(forEachGroup, packed)
+	if want := `"k":1,2,3,;"solo":7,8,;`; got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+func TestPackRecordsEmptyAndSingle(t *testing.T) {
+	if out := packRecords(nil); len(out) != 0 {
+		t.Errorf("packRecords(nil) = %v", out)
+	}
+	one := []record{mkrec("k", intMsg(1))}
+	out := packRecords(append([]record(nil), one...))
+	if len(out) != 1 || out[0].key != "k" || out[0].msg.(intMsg) != 1 {
+		t.Errorf("packRecords(single) = %+v", out)
+	}
+	if out[0].packed != nil {
+		t.Error("single record was packed")
+	}
+}

@@ -10,14 +10,18 @@ import (
 // MB is 2^20 bytes.
 const MB = float64(1 << 20)
 
+// mbOf converts modelled byte counts (record sizes, relation sizes) to
+// the cost model's MB unit.
+func mbOf(bytes int64) float64 { return float64(bytes) / MB }
+
 // PartStats are the measured quantities of one uniform input part I_i
 // (one input relation): exactly the N_i, M_i and record count the cost
 // model consumes.
 type PartStats struct {
 	Input   string
 	InputMB float64 // N_i
-	InterMB float64 // M_i: map output bytes (keys + payloads)
-	Records int64   // map output records (drives M̂_i)
+	InterMB float64 // M_i: map output bytes (keys + payloads), after packing
+	Records int64   // map output records after packing (drives M̂_i)
 	Mappers int     // m_i: map tasks run for this part
 }
 

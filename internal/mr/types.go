@@ -24,10 +24,15 @@ type Message interface {
 	SizeBytes() int64
 }
 
-// Packed is a list of messages sharing one key, produced by the
-// message-packing optimization (§5.1 optimization (1)): all request and
-// assert messages with the same key emitted by one map task are packed
-// into a single record, saving per-record metadata and repeated keys.
+// Packed is a list of messages sharing one key: the wire form of the
+// message-packing optimization (§5.1 optimization (1)), under which all
+// request and assert messages with the same key emitted by one map task
+// travel as a single record, saving per-record metadata and repeated
+// keys. Mappers may emit a Packed value directly; the engine's own
+// packing (Job.Packing) carries packed runs internally without
+// materializing Packed values. Reducers see neither form: engine-packed
+// runs and mapper-emitted Packed values (one level — Packed must not be
+// nested inside Packed) are flattened before Reduce is called.
 type Packed struct {
 	Msgs []Message
 }
@@ -58,9 +63,14 @@ type MapperFunc func(input string, id int, t relation.Tuple, emit Emit)
 // Map implements Mapper.
 func (f MapperFunc) Map(input string, id int, t relation.Tuple, emit Emit) { f(input, id, t, emit) }
 
-// Reducer processes one key group. Packed messages are transparently
-// unpacked before Reduce is called. The same Reducer instance is used
-// concurrently by multiple reduce tasks.
+// Reducer processes one key group. Reduce is called once per distinct
+// key of a reduce partition, in ascending key order, with the key's
+// messages in arrival order; Packed messages are transparently unpacked
+// before Reduce is called. The same Reducer instance is used
+// concurrently by multiple reduce tasks. The msgs slice is owned by the
+// engine and reused across keys: implementations may retain individual
+// messages (messages are immutable after emission) but must not retain
+// the slice itself after Reduce returns.
 type Reducer interface {
 	Reduce(key string, msgs []Message, out *Output)
 }

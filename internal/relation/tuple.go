@@ -51,33 +51,76 @@ func (t Tuple) Clone() Tuple {
 	return u
 }
 
+// AppendKey appends v's key encoding (a signed varint) to dst and
+// returns the extended slice.
+func (v Value) AppendKey(dst []byte) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], int64(v))
+	return append(dst, b[:n]...)
+}
+
+// AppendKey appends t's Key encoding to dst and returns the extended
+// slice: the append-style form of Key for callers that build shuffle
+// keys per tuple into a reused scratch buffer (see sgf.Projector's
+// AppendKey for the mapper fast path that also skips materializing the
+// projected tuple).
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.AppendKey(dst)
+	}
+	return dst
+}
+
 // Key returns a compact byte-string key identifying t, suitable for use as
 // a map key or MapReduce shuffle key. Distinct tuples of the same arity
 // produce distinct keys.
 func (t Tuple) Key() string {
-	var b [10]byte
-	var sb strings.Builder
-	sb.Grow(len(t) * 3)
-	for _, v := range t {
-		n := binary.PutVarint(b[:], int64(v))
-		sb.Write(b[:n])
-	}
-	return sb.String()
+	var buf [32]byte
+	return string(t.AppendKey(buf[:0]))
 }
 
 // TupleFromKey decodes a key produced by Tuple.Key. It returns nil if the
 // key is malformed.
 func TupleFromKey(key string) Tuple {
 	var t Tuple
-	for len(key) > 0 {
-		v, n := binary.Varint([]byte(key))
+	for i := 0; i < len(key); {
+		v, n := varintString(key[i:])
 		if n <= 0 {
 			return nil
 		}
 		t = append(t, Value(v))
-		key = key[n:]
+		i += n
 	}
 	return t
+}
+
+// varintString decodes a signed varint from the head of s, like
+// binary.Varint but over a string: decoding a key never copies it to a
+// byte slice. It returns the value and the number of bytes read (0 for
+// truncated input, negative for overflow).
+func varintString(s string) (int64, int) {
+	var ux uint64
+	var shift uint
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if i == binary.MaxVarintLen64 {
+			return 0, -(i + 1) // overflow
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, -(i + 1) // overflow
+			}
+			ux |= uint64(b) << shift
+			x := int64(ux >> 1)
+			if ux&1 != 0 {
+				x = ^x
+			}
+			return x, i + 1
+		}
+		ux |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0 // truncated
 }
 
 // String renders the tuple as "(v1, v2, ...)".

@@ -1,7 +1,9 @@
 package relation
 
 import (
+	"encoding/binary"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -134,5 +136,60 @@ func TestQuickCompareAntisymmetric(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	f := func(raw []int64, prefix []byte) bool {
+		tp := make(Tuple, len(raw))
+		for i, v := range raw {
+			tp[i] = Value(v)
+		}
+		got := tp.AppendKey(append([]byte(nil), prefix...))
+		return string(got) == string(prefix)+tp.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueAppendKeyMatchesVarint(t *testing.T) {
+	f := func(v int64) bool {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(b[:], v)
+		return string(Value(v).AppendKey(nil)) == string(b[:n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintStringMatchesBinaryVarint(t *testing.T) {
+	f := func(v int64, trailing []byte) bool {
+		key := string(Value(v).AppendKey(nil)) + string(trailing)
+		want, wantN := binary.Varint([]byte(key))
+		got, gotN := varintString(key)
+		return got == want && gotN == wantN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintStringMalformed(t *testing.T) {
+	// Truncated: continuation bit set but string ends.
+	if _, n := varintString("\xff"); n != 0 {
+		t.Errorf("truncated varint: n = %d, want 0", n)
+	}
+	if tp := TupleFromKey("\xff"); tp != nil {
+		t.Errorf("TupleFromKey accepted truncated key: %v", tp)
+	}
+	// Overflow: 11 continuation bytes exceed MaxVarintLen64.
+	over := strings.Repeat("\x80", 11) + "\x01"
+	if _, n := varintString(over); n >= 0 {
+		t.Errorf("overflowing varint: n = %d, want negative", n)
+	}
+	if tp := TupleFromKey(over); tp != nil {
+		t.Errorf("TupleFromKey accepted overflowing key: %v", tp)
 	}
 }

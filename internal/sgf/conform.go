@@ -125,5 +125,17 @@ func NewProjector(a Atom, vars []string) Projector {
 // Apply projects t. The result is a fresh tuple.
 func (p Projector) Apply(t relation.Tuple) relation.Tuple { return t.Project(p.positions) }
 
+// AppendKey appends the shuffle key of t's projection to dst and returns
+// the extended slice. It is the mapper fast path equivalent to
+// p.Apply(t).Key(): the projected tuple is never materialized and the
+// caller controls the key buffer, so building a shuffle key costs no
+// intermediate allocation.
+func (p Projector) AppendKey(dst []byte, t relation.Tuple) []byte {
+	for _, pos := range p.positions {
+		dst = t[pos].AppendKey(dst)
+	}
+	return dst
+}
+
 // Arity returns the arity of projected tuples.
 func (p Projector) Arity() int { return len(p.positions) }

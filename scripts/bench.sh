@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# bench.sh — run the MR engine micro-benchmarks and write a JSON
+# snapshot of ns/op, B/op and allocs/op.
+#
+# Usage:
+#   scripts/bench.sh [output.json]     # default output: bench_snapshot.json
+#   BENCHTIME=20x scripts/bench.sh     # override -benchtime
+#   BENCH='BenchmarkMSJJob' PKG=. scripts/bench.sh  # other benchmarks/packages
+#
+# The snapshot schema matches BENCH_pr2.json's "before"/"after" entries,
+# so successive snapshots diff cleanly across PRs.
+set -eu
+
+out="${1:-bench_snapshot.json}"
+benchtime="${BENCHTIME:-10x}"
+bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping}"
+pkg="${PKG:-./internal/mr/}"
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run NONE -bench "$bench" -benchtime "$benchtime" "$pkg" | tee "$tmp"
+
+{
+	echo '{'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	echo '  "results": ['
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+			bytes = "null"            # benchmarks without b.ReportAllocs()
+			allocs = "null"
+			for (i = 4; i < NF; i++) {
+				if ($(i + 1) == "B/op") bytes = $i
+				if ($(i + 1) == "allocs/op") allocs = $i
+			}
+			if (n++) printf ",\n"
+			printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+				name, $2, $3, bytes, allocs
+		}
+		END { print "" }
+	' "$tmp"
+	echo '  ]'
+	echo '}'
+} >"$out"
+echo "wrote $out"
