@@ -1,0 +1,269 @@
+// Command docscheck is the CI docs gate: it keeps the documentation's
+// code and links honest.
+//
+// For every markdown file or directory named on the command line it
+//
+//  1. extracts each ```go code fence, wraps it in a throwaway package
+//     inside the module (statement fences become function bodies; fences
+//     that declare their own package become standalone files), prefixes
+//     every fence with a //line directive pointing back at the markdown
+//     source, and compiles the lot with `go build` — an uncompilable
+//     fence fails the gate with an error located in the .md file;
+//  2. checks every relative markdown link ([text](path)) against the
+//     filesystem — a link to a missing file fails the gate.
+//
+// Fences marked ```go ignore (or any info string other than exactly
+// "go") and links to absolute URLs (http/https/mailto) or in-page
+// anchors (#...) are skipped. Statement fences may use the identifiers
+// imported by the harness preamble: fmt, log, net/http, time, gumbo
+// (package repro) and server (repro/internal/server).
+//
+// Usage:
+//
+//	go run ./cmd/docscheck README.md docs
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <file.md|dir> ...")
+		os.Exit(2)
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	if err := run(root, args); err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: FAIL\n%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: OK")
+}
+
+// findModuleRoot walks up from the working directory to the directory
+// containing go.mod (snippets must compile inside the module so they can
+// import it).
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// run checks all markdown files found in paths (files, or directories
+// scanned non-recursively for *.md) against module root.
+func run(moduleRoot string, paths []string) error {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				files = append(files, filepath.Join(p, e.Name()))
+			}
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no markdown files under %s", strings.Join(paths, " "))
+	}
+
+	var problems []string
+	var snippets []snippet
+	for _, f := range files {
+		sn, probs, err := scanFile(f)
+		if err != nil {
+			return err
+		}
+		snippets = append(snippets, sn...)
+		problems = append(problems, probs...)
+	}
+	if err := compileSnippets(moduleRoot, snippets); err != nil {
+		problems = append(problems, err.Error())
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "\n"))
+	}
+	return nil
+}
+
+// snippet is one extracted ```go fence.
+type snippet struct {
+	file  string // markdown source path as given
+	line  int    // 1-based line of the fence's first code line
+	code  string
+	whole bool // declares its own package: compile as a standalone file
+}
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// scanFile extracts go fences and checks relative links of one markdown
+// file. Returned problems are human-readable link failures.
+func scanFile(path string) ([]snippet, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	var snippets []snippet
+	var problems []string
+	inFence := false
+	goFence := false
+	var code []string
+	codeStart := 0
+	fenceOpen := 0 // line of the currently open fence, for the EOF check
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if !inFence {
+				inFence = true
+				fenceOpen = i + 1
+				info := strings.TrimSpace(strings.TrimPrefix(trimmed, "```"))
+				goFence = info == "go"
+				code = code[:0]
+				codeStart = i + 2 // first code line, 1-based
+			} else {
+				inFence = false
+				if goFence {
+					body := strings.Join(code, "\n")
+					snippets = append(snippets, snippet{
+						file:  path,
+						line:  codeStart,
+						code:  body,
+						whole: strings.HasPrefix(strings.TrimSpace(body), "package "),
+					})
+				}
+			}
+			continue
+		}
+		if inFence {
+			if goFence {
+				code = append(code, line)
+			}
+			continue
+		}
+		// Link check outside fences only.
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, i+1, m[1], resolved))
+			}
+		}
+	}
+	// An unterminated fence would silently swallow every later fence and
+	// link of the file — exactly the malformed state the gate must catch.
+	if inFence {
+		problems = append(problems, fmt.Sprintf("%s:%d: unterminated code fence (no closing ```)", path, fenceOpen))
+	}
+	return snippets, problems, nil
+}
+
+// preamble is the harness around statement fences. The blank uses keep
+// the imports legal for fences that only need a subset.
+const preamble = `package docsnippets
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	gumbo "repro"
+	"repro/internal/server"
+)
+
+var (
+	_ = fmt.Println
+	_ = log.Fatal
+	_ = http.ListenAndServe
+	_ = time.Second
+	_ = gumbo.New
+	_ = server.New
+)
+`
+
+// compileSnippets writes the snippets into a temporary package directory
+// under the module root and builds it. //line directives make compiler
+// errors point at the markdown sources.
+func compileSnippets(moduleRoot string, snippets []snippet) error {
+	if len(snippets) == 0 {
+		return nil
+	}
+	// No leading dot: the go tool silently ignores dot- and
+	// underscore-prefixed directories (build would "pass" on anything).
+	dir, err := os.MkdirTemp(moduleRoot, "docscheck-tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	var harness strings.Builder
+	harness.WriteString(preamble)
+	nWhole := 0
+	for i, sn := range snippets {
+		if sn.whole {
+			sub := filepath.Join(dir, fmt.Sprintf("prog%d", nWhole))
+			if err := os.Mkdir(sub, 0o755); err != nil {
+				return err
+			}
+			src := fmt.Sprintf("//line %s:%d\n%s\n", sn.file, sn.line, sn.code)
+			if err := os.WriteFile(filepath.Join(sub, "main.go"), []byte(src), 0o644); err != nil {
+				return err
+			}
+			nWhole++
+			continue
+		}
+		fmt.Fprintf(&harness, "\nfunc docSnippet%d() {\n//line %s:%d\n%s\n}\n", i, sn.file, sn.line, sn.code)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snippets.go"), []byte(harness.String()), 0o644); err != nil {
+		return err
+	}
+
+	cmd := exec.Command("go", "build", "./"+filepath.Base(dir)+"/...")
+	cmd.Dir = moduleRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("doc code fences do not compile:\n%s", strings.TrimSpace(string(out)))
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoodDocPasses: compiling fences (statement and standalone), an
+// ignored fence, and valid links pass the gate.
+func TestGoodDocPasses(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(root, []string{"testdata/good.md"}); err != nil {
+		t.Fatalf("good.md should pass, got: %v", err)
+	}
+}
+
+// TestBadCodeFenceFails demonstrates the acceptance requirement: an
+// uncompilable ```go fence fails the gate, with the error located in
+// the markdown file.
+func TestBadCodeFenceFails(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(root, []string{"testdata/good.md", "testdata/bad_code.md"})
+	if err == nil {
+		t.Fatal("bad_code.md compiled; the gate must fail on an uncompilable fence")
+	}
+	if !strings.Contains(err.Error(), "bad_code.md") {
+		t.Errorf("error does not point at the markdown source:\n%v", err)
+	}
+}
+
+// TestBrokenLinkFails demonstrates the other half of the gate: a
+// relative link to a missing file fails.
+func TestBrokenLinkFails(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(root, []string{"testdata/bad_link.md"})
+	if err == nil {
+		t.Fatal("bad_link.md passed; the gate must fail on a broken relative link")
+	}
+	if !strings.Contains(err.Error(), "does-not-exist.md") {
+		t.Errorf("error does not name the broken target:\n%v", err)
+	}
+}
+
+// TestUnterminatedFenceFails: a fence with no closing ``` must fail the
+// gate instead of silently skipping the rest of the file.
+func TestUnterminatedFenceFails(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run(root, []string{"testdata/unterminated.md"})
+	if err == nil {
+		t.Fatal("unterminated.md passed; the gate must fail on an unterminated fence")
+	}
+	if !strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("error does not mention the unterminated fence:\n%v", err)
+	}
+}
+
+// TestScanFileExtraction pins the extraction rules: only exact ```go
+// fences are collected, package fences are marked whole, and fence
+// line numbers are recorded for //line directives.
+func TestScanFileExtraction(t *testing.T) {
+	snippets, problems, err := scanFile("testdata/good.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("unexpected link problems: %v", problems)
+	}
+	if len(snippets) != 2 {
+		t.Fatalf("got %d snippets, want 2 (the ```go ignore and ```sh fences are skipped)", len(snippets))
+	}
+	if snippets[0].whole || !snippets[1].whole {
+		t.Errorf("whole-program detection wrong: %+v", snippets)
+	}
+	if snippets[0].line != 6 {
+		t.Errorf("first snippet starts at line %d, want 6", snippets[0].line)
+	}
+	if !strings.Contains(snippets[0].code, "gumbo.Parse") {
+		t.Errorf("first snippet body missing: %q", snippets[0].code)
+	}
+}

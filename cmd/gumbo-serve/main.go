@@ -1,0 +1,81 @@
+// Command gumbo-serve runs the gumbo query service: a long-running HTTP
+// JSON API for creating databases, bulk-loading relations and evaluating
+// SGF queries concurrently on one shared gumbo.System, with plan caching
+// and multi-query micro-batching (see docs/SERVER.md for the API
+// reference and a curl walkthrough).
+//
+// Usage:
+//
+//	gumbo-serve [-addr :8080] [-workers N] [-jobs N]
+//	            [-cache 128] [-batch-window 2ms] [-max-batch 16]
+//	            [-scale 0.001]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	gumbo "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "engine worker goroutines per map/shuffle/reduce phase (0 = GOMAXPROCS)")
+		jobs        = flag.Int("jobs", 0, "concurrent jobs per plan and admitted plan executions (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 128, "plan-cache capacity (entries)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (negative disables batching)")
+		maxBatch    = flag.Int("max-batch", 16, "flush a micro-batch early at this many queries")
+		maxBody     = flag.Int64("max-body", 32<<20, "request body size cap in bytes")
+		scale       = flag.Float64("scale", 1, "cost-model scale factor (fraction of the paper's data sizes)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		PhaseWorkers:   *workers,
+		ConcurrentJobs: *jobs,
+		PlanCacheSize:  *cacheSize,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		MaxBodyBytes:   *maxBody,
+	}
+	if *scale != 1 {
+		cfg.Options = append(cfg.Options, gumbo.WithScale(*scale))
+	}
+	srv := server.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gumbo-serve listening on %s (cache %d entries, batch window %s)", *addr, *cacheSize, *batchWindow)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("gumbo-serve: %v", err)
+	case <-ctx.Done():
+		log.Printf("gumbo-serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gumbo-serve: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package gumbo_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	gumbo "repro"
+)
+
+func concurrencyDB() *gumbo.Database {
+	db := gumbo.NewDatabase()
+	r := gumbo.NewRelation("R", 2)
+	s := gumbo.NewRelation("S", 2)
+	tt := gumbo.NewRelation("T", 1)
+	for i := int64(0); i < 200; i++ {
+		r.Add(gumbo.Tuple{gumbo.Int(i), gumbo.Int((i * 7) % 200)})
+		if i%3 == 0 {
+			s.Add(gumbo.Tuple{gumbo.Int(i), gumbo.Int((i * 7) % 200)})
+		}
+		if i%5 == 0 {
+			tt.Add(gumbo.Tuple{gumbo.Int(i)})
+		}
+	}
+	db.Put(r)
+	db.Put(s)
+	db.Put(tt)
+	return db
+}
+
+var concurrencyQueries = []struct {
+	src      string
+	strategy gumbo.Strategy
+}{
+	{`Z := SELECT x, y FROM R(x, y) WHERE S(x, y) AND T(x);`, gumbo.Greedy},
+	{`Z := SELECT x, y FROM R(x, y) WHERE S(x, y) AND T(x);`, gumbo.SEQ},
+	{`Z := SELECT x FROM R(x, y) WHERE T(x) OR S(y, x);`, gumbo.PAR},
+	{`Z1 := SELECT x FROM R(x, y) WHERE S(x, y);
+	  Z2 := SELECT x FROM T(x) WHERE NOT Z1(x);`, gumbo.GreedySGF},
+}
+
+// TestSystemRunConcurrent exercises the System re-entrancy contract: many
+// goroutines call Run on one System (sharing one exec.Runner and engine)
+// and every Result — output relation, metrics, per-job stats — must be
+// identical to a sequential run of the same query. Run under -race this
+// is the service-layer safety net.
+func TestSystemRunConcurrent(t *testing.T) {
+	sys := gumbo.New(gumbo.WithHostParallelism(2, 2))
+	db := concurrencyDB()
+
+	type expect struct {
+		rel     *gumbo.Relation
+		metrics gumbo.Metrics
+		stats   []gumbo.JobStats
+	}
+	want := make([]expect, len(concurrencyQueries))
+	for i, cq := range concurrencyQueries {
+		res, err := sys.Run(gumbo.MustParse(cq.src), db, cq.strategy)
+		if err != nil {
+			t.Fatalf("sequential run %d: %v", i, err)
+		}
+		want[i] = expect{rel: res.Relation, metrics: res.Metrics, stats: res.JobStats}
+	}
+
+	const goroutines = 8
+	const iters = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(concurrencyQueries)
+				cq := concurrencyQueries[i]
+				res, err := sys.Run(gumbo.MustParse(cq.src), db, cq.strategy)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d run %d: %v", g, i, err)
+					return
+				}
+				if !res.Relation.Equal(want[i].rel) {
+					errc <- fmt.Errorf("goroutine %d run %d: output differs from sequential run", g, i)
+					return
+				}
+				if res.Metrics != want[i].metrics {
+					errc <- fmt.Errorf("goroutine %d run %d: metrics %+v != %+v", g, i, res.Metrics, want[i].metrics)
+					return
+				}
+				if !reflect.DeepEqual(res.JobStats, want[i].stats) {
+					errc <- fmt.Errorf("goroutine %d run %d: job stats differ", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestRunPlanMatchesRun pins the plan-cache hook: planning once and
+// executing the plan repeatedly (concurrently) is equivalent to Run.
+func TestRunPlanMatchesRun(t *testing.T) {
+	sys := gumbo.New()
+	db := concurrencyDB()
+	q := gumbo.MustParse(`Z := SELECT x, y FROM R(x, y) WHERE S(x, y) AND T(x);`)
+
+	direct, err := sys.Run(q, db, gumbo.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(q, db, gumbo.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sys.RunPlan(plan, db)
+			if err != nil {
+				t.Errorf("RunPlan: %v", err)
+				return
+			}
+			if !res.Relation.Equal(direct.Relation) {
+				t.Error("RunPlan output differs from Run")
+			}
+			if res.Metrics != direct.Metrics {
+				t.Errorf("RunPlan metrics %+v != Run metrics %+v", res.Metrics, direct.Metrics)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRunPlanFinalOutputNested guards the Plan wrapper's output-name
+// tracking: for unit-based plans the inner plan's output list is in
+// level order, which may differ from declaration order.
+func TestRunPlanFinalOutputNested(t *testing.T) {
+	sys := gumbo.New()
+	db := concurrencyDB()
+	// Z2 depends on Z1; Z3 is independent and declared last, so a
+	// level-ordered plan lists Z3 before Z2 — yet the program's output
+	// is Z3.
+	q := gumbo.MustParse(`
+		Z1 := SELECT x FROM R(x, y) WHERE S(x, y);
+		Z2 := SELECT x FROM T(x) WHERE NOT Z1(x);
+		Z3 := SELECT y FROM R(x, y) WHERE T(y);`)
+	for _, strat := range []gumbo.Strategy{gumbo.SeqUnit, gumbo.ParUnit, gumbo.GreedySGF} {
+		direct, err := sys.Run(q, db, strat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		plan, err := sys.Plan(q, db, strat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		res, err := sys.RunPlan(plan, db)
+		if err != nil {
+			t.Fatalf("%s: RunPlan: %v", strat, err)
+		}
+		if res.Relation.Name() != "Z3" {
+			t.Errorf("%s: RunPlan final relation %q, want Z3", strat, res.Relation.Name())
+		}
+		if !res.Relation.Equal(direct.Relation) {
+			t.Errorf("%s: RunPlan output differs from Run", strat)
+		}
+	}
+}

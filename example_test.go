@@ -2,9 +2,34 @@ package gumbo_test
 
 import (
 	"fmt"
+	"log"
 
 	gumbo "repro"
 )
+
+// Example_quickstart is the README's quick-start snippet, verbatim, so
+// the docs' primary example is executed by go test (its compilation is
+// additionally enforced by cmd/docscheck in CI).
+func Example_quickstart() {
+	q, err := gumbo.Parse(`Z := SELECT x FROM R(x, y) WHERE S(y);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := gumbo.NewDatabase()
+	db.Put(gumbo.FromTuples("R", 2, []gumbo.Tuple{
+		{gumbo.Int(1), gumbo.Int(10)},
+		{gumbo.Int(2), gumbo.Int(20)},
+	}))
+	db.Put(gumbo.FromTuples("S", 1, []gumbo.Tuple{{gumbo.Int(10)}}))
+
+	sys := gumbo.New(gumbo.WithHostParallelism(0, 0)) // 0 = GOMAXPROCS
+	res, err := sys.Run(q, db, gumbo.Greedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Relation, res.Metrics)
+	// Output: Z/1{1 tuples} net 16s total 18s input 0.00GB comm 0.00GB (2 jobs, 2 rounds)
+}
 
 // ExampleParse parses and introspects an SGF program.
 func ExampleParse() {

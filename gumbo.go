@@ -51,6 +51,10 @@ type (
 	Database = relation.Database
 	// Metrics carries the four §5.1 performance metrics of a run.
 	Metrics = mr.Metrics
+	// JobStats carries the measured quantities of one executed MapReduce
+	// job (per-input N_i/M_i, record counts, output K, task counts,
+	// per-reducer loads).
+	JobStats = mr.JobStats
 	// CostConfig holds the MapReduce cost-model constants (Table 1/5).
 	CostConfig = cost.Config
 	// Strategy selects an evaluation strategy.
@@ -96,11 +100,24 @@ func FromTuples(name string, arity int, tuples []Tuple) *Relation {
 func DefaultCostConfig() CostConfig { return cost.Default() }
 
 // System evaluates queries under one configuration.
+//
+// A System is immutable after New and safe for concurrent use: any number
+// of goroutines may call Plan, Run, RunPlan and Auto on one System
+// simultaneously. Runs never mutate the database they are given (job
+// outputs land in a fresh Result.Outputs database), and concurrent runs
+// of the same query against the same database produce bit-for-bit
+// identical Results (see WithHostParallelism for the underlying
+// determinism contract). Callers may load new relations into a Database
+// concurrently with runs — Database is internally locked — but a run
+// that overlaps a load may observe either version of the relation;
+// services that need a stable snapshot should key work off
+// Database.Generation, as internal/server does.
 type System struct {
 	costCfg      cost.Config
 	clusterCfg   cluster.Config
 	phaseWorkers int
 	hostJobs     int
+	runner       *exec.Runner
 }
 
 // Option configures a System.
@@ -145,12 +162,14 @@ func WithHostParallelism(phaseWorkers, concurrentJobs int) Option {
 	}
 }
 
-// New returns a System with the paper's default configuration.
+// New returns a System with the paper's default configuration. Options
+// are applied once here; the returned System is immutable.
 func New(opts ...Option) *System {
 	s := &System{costCfg: cost.Default(), clusterCfg: cluster.DefaultConfig()}
 	for _, o := range opts {
 		o(s)
 	}
+	s.runner = exec.NewRunner(s.costCfg, s.clusterCfg).WithHostParallelism(s.phaseWorkers, s.hostJobs)
 	return s
 }
 
@@ -168,13 +187,21 @@ type Result struct {
 	Outputs *Database
 	// Metrics are the measured/simulated performance metrics.
 	Metrics Metrics
+	// JobStats holds the per-job measurements behind Metrics, in
+	// plan-declared job order (schedule-independent).
+	JobStats []JobStats
 	// Plan describes the executed MR program.
 	Plan *Plan
 }
 
-// Plan wraps an executable MapReduce plan.
+// Plan wraps an executable MapReduce plan. Plans are stateless: a Plan
+// may be executed any number of times and concurrently (see RunPlan).
 type Plan struct {
 	inner *core.Plan
+	// output is the source program's final output relation (set when the
+	// plan is built through System.Plan; unit-based plans may list
+	// inner.Outputs in level order rather than declaration order).
+	output string
 }
 
 // Strategy returns the plan's strategy.
@@ -198,7 +225,7 @@ func (s *System) Plan(q *Query, db *Database, strategy Strategy) (*Plan, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{inner: inner}, nil
+	return &Plan{inner: inner, output: q.Name()}, nil
 }
 
 func (s *System) plan(q *Query, db *Database, strategy Strategy) (*core.Plan, error) {
@@ -272,22 +299,47 @@ func (s *System) plan(q *Query, db *Database, strategy Strategy) (*core.Plan, er
 	}
 }
 
-// Run plans and executes q against db under the strategy.
+// Run plans and executes q against db under the strategy. It is
+// equivalent to Plan followed by RunPlan.
 func (s *System) Run(q *Query, db *Database, strategy Strategy) (*Result, error) {
 	inner, err := s.plan(q, db, strategy)
 	if err != nil {
 		return nil, err
 	}
-	runner := exec.NewRunner(s.costCfg, s.clusterCfg).WithHostParallelism(s.phaseWorkers, s.hostJobs)
-	res, err := runner.Run(inner, db)
+	return s.runPlan(inner, q.Name(), db)
+}
+
+// RunPlan executes a previously built plan against db. This is the
+// plan-cache hook: services that serve the same query text repeatedly
+// can Plan once and RunPlan per request, skipping parsing, validation
+// and (for cost-based strategies) database sampling.
+//
+// Plans are stateless and may be run any number of times, concurrently,
+// and against databases other than the one they were planned on, as long
+// as the base relations the plan reads still exist with the same names
+// and arities. Results are always exact; only the cost-based grouping
+// baked into the plan can become stale when the data it was sampled on
+// changes, so cache plans keyed by Database.Generation (see
+// internal/server) when plan optimality matters.
+func (s *System) RunPlan(plan *Plan, db *Database) (*Result, error) {
+	output := plan.output
+	if output == "" && len(plan.inner.Outputs) > 0 {
+		output = plan.inner.Outputs[len(plan.inner.Outputs)-1]
+	}
+	return s.runPlan(plan.inner, output, db)
+}
+
+func (s *System) runPlan(inner *core.Plan, output string, db *Database) (*Result, error) {
+	res, err := s.runner.Run(inner, db)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Relation: res.Outputs.Relation(q.prog.OutputName()),
+		Relation: res.Outputs.Relation(output),
 		Outputs:  res.Outputs,
 		Metrics:  res.Metrics,
-		Plan:     &Plan{inner: inner},
+		JobStats: res.JobStats,
+		Plan:     &Plan{inner: inner, output: output},
 	}, nil
 }
 

@@ -25,6 +25,8 @@ const (
 	Wang
 )
 
+// String returns the model's paper name: "gumbo" (Eq. 2) or "wang"
+// (Eq. 3).
 func (m Model) String() string {
 	switch m {
 	case Gumbo:

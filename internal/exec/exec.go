@@ -15,6 +15,14 @@ import (
 )
 
 // Runner executes plans under one configuration.
+//
+// A Runner is safe for concurrent use once configured: Run keeps all
+// per-run state on its own stack (the engine copies the input database
+// into a private working database, and jobs/stats/simulation are local),
+// so any number of goroutines may call Run on one Runner simultaneously.
+// The configuration fields and WithHostParallelism must not be modified
+// after the Runner is shared. gumbo.System relies on this to serve
+// concurrent System.Run calls over a single shared Runner.
 type Runner struct {
 	Engine  *mr.Engine
 	CostCfg cost.Config
@@ -36,7 +44,8 @@ func NewRunner(costCfg cost.Config, clusterCfg cluster.Config) *Runner {
 // phaseWorkers goroutines per map/reduce phase and up to concurrentJobs
 // dependency-independent jobs of a program at a time. Zero for either
 // means GOMAXPROCS. Outputs, stats and simulated metrics are identical
-// at every setting; only wall-clock time changes. Returns r.
+// at every setting; only wall-clock time changes. Returns r. Must be
+// called before the Runner is shared between goroutines.
 func (r *Runner) WithHostParallelism(phaseWorkers, concurrentJobs int) *Runner {
 	r.Engine.Parallelism = phaseWorkers
 	r.Engine.JobParallelism = concurrentJobs

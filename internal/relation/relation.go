@@ -161,6 +161,7 @@ type Database struct {
 	mu    sync.RWMutex
 	rels  map[string]*Relation
 	order []string // deterministic iteration order (insertion order)
+	gen   uint64   // bumped by every Put/Drop; see Generation
 }
 
 // NewDatabase returns an empty database.
@@ -177,6 +178,39 @@ func (db *Database) Put(rel *Relation) {
 		db.order = append(db.order, rel.Name())
 	}
 	db.rels[rel.Name()] = rel
+	db.gen++
+}
+
+// Drop removes the relation with the given name, reporting whether it
+// existed. Like Put it bumps the database generation.
+func (db *Database) Drop(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.rels[name]; !ok {
+		return false
+	}
+	delete(db.rels, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	db.gen++
+	return true
+}
+
+// Generation returns a counter that increases on every mutation of the
+// database's relation mapping (Put or Drop). Two reads of the same
+// database returning the same generation are guaranteed to have observed
+// the same set of relations (individual relations must not be mutated
+// after publication, per the concurrency contract above). Plan caches use
+// the generation as a cheap schema-and-content fingerprint: any load or
+// drop invalidates entries keyed under the previous generation.
+func (db *Database) Generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
 }
 
 // Relation returns the relation with the given name, or nil.

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	gumbo "repro"
+)
+
+// planCache is an LRU cache of built plans. Keys are composed by
+// planKey from the database instance id (unique per creation — see
+// dbEntry), the database generation, the strategy and the query's
+// canonical text, so any load or drop into a database (which bumps
+// Database.Generation) makes all of its cached plans unreachable; stale
+// entries age out through normal LRU eviction, and dropping a whole
+// database purges its entries eagerly (purgeDB).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key  string
+	plan *gumbo.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &planCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// planKey builds the cache key. The generation stands in for a
+// schema-and-content fingerprint: plans (including the data-dependent
+// grouping of cost-based strategies) are only reused against the exact
+// database state they were built on.
+func planKey(dbID string, generation uint64, strategy gumbo.Strategy, queryText string) string {
+	var sb strings.Builder
+	sb.Grow(len(dbID) + len(queryText) + 32)
+	sb.WriteString(dbID)
+	sb.WriteByte(0)
+	for i := 0; i < 8; i++ {
+		sb.WriteByte(byte(generation >> (8 * i)))
+	}
+	sb.WriteByte(0)
+	sb.WriteString(string(strategy))
+	sb.WriteByte(0)
+	sb.WriteString(queryText)
+	return sb.String()
+}
+
+func (c *planCache) get(key string) (*gumbo.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).plan, true
+}
+
+func (c *planCache) put(key string, plan *gumbo.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, plan: plan})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purgeDB removes every entry cached for the database instance.
+func (c *planCache) purgeDB(dbID string) {
+	prefix := dbID + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// counters returns (hits, misses, size).
+func (c *planCache) counters() (uint64, uint64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.lru.Len()
+}

@@ -1,0 +1,57 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+// Example drives the query service in-process, mirroring the curl
+// session in docs/SERVER.md: create a database, bulk-load relations,
+// and evaluate a query. This is the executable form of the service
+// quick start.
+func Example() {
+	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	must := func(resp *http.Response, err error) *http.Response {
+		if err != nil {
+			panic(err)
+		}
+		return resp
+	}
+	post := func(path, body string) map[string]any {
+		resp := must(client.Post(srv.URL+path, "application/json", bytes.NewBufferString(body)))
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		if e, ok := out["error"]; ok {
+			panic(e)
+		}
+		return out
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/db/shop", nil)
+	must(client.Do(req)).Body.Close()
+
+	post("/v1/db/shop/load", `{"relations": [
+		{"name": "R", "arity": 2, "tuples": [[1, 2], [2, 3], [4, 5]]},
+		{"name": "S", "arity": 1, "tuples": [[2], [5]]}
+	]}`)
+
+	out := post("/v1/db/shop/query", `{"query": "Z := SELECT x FROM R(x, y) WHERE S(y);"}`)
+	fmt.Println("output:", out["output"])
+	fmt.Println("tuples:", out["tuples"])
+	fmt.Println("strategy:", out["strategy"])
+	// Output:
+	// output: Z
+	// tuples: [[1] [4]]
+	// strategy: 1-ROUND
+}

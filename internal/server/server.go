@@ -1,0 +1,681 @@
+// Package server implements the gumbo query service: a long-running,
+// concurrent HTTP JSON front end over the gumbo library (the paper's
+// batch system operationalized for live traffic, cf. docs/SERVER.md).
+//
+// The server manages named in-memory databases, bulk-loads relations
+// into them, and evaluates SGF queries against them on one shared
+// gumbo.System. Three mechanisms turn the library into a service:
+//
+//   - Admission control: a semaphore sized from the system's
+//     WithHostParallelism job knob bounds how many plan executions run at
+//     once; excess requests queue instead of oversubscribing the host.
+//   - Plan caching: parsed-and-planned queries are kept in an LRU cache
+//     keyed by database instance, Database.Generation, strategy and
+//     canonical query text, so repeated query text skips parsing,
+//     validation and cost-model sampling. Any load or drop bumps the
+//     generation and thereby invalidates the database's cached plans.
+//   - Micro-batching: requests that opt in (batch=true) are collected
+//     for a short window and merged into a single SGF program
+//     (gumbo.Merge, §4.7), so overlapping semi-join atoms of concurrent
+//     queries are evaluated once (Greedy-BSGF grouping) and the whole
+//     batch consumes one admission slot.
+//
+// Determinism contract: query responses list output tuples in sorted
+// order, so a response is bit-for-bit identical to encoding the relation
+// a direct library call (System.Run / gumbo.Eval) produces — regardless
+// of server concurrency, batching, or plan-cache state.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gumbo "repro"
+)
+
+// strategyAuto asks runQuery to resolve the strategy with System.Auto.
+const strategyAuto gumbo.Strategy = "auto"
+
+// strategies maps the wire names accepted by the query endpoint.
+var strategies = map[string]gumbo.Strategy{
+	"SEQ":        gumbo.SEQ,
+	"PAR":        gumbo.PAR,
+	"GREEDY":     gumbo.Greedy,
+	"OPT":        gumbo.Opt,
+	"1-ROUND":    gumbo.OneRound,
+	"SEQUNIT":    gumbo.SeqUnit,
+	"PARUNIT":    gumbo.ParUnit,
+	"GREEDY-SGF": gumbo.GreedySGF,
+	"HPAR":       gumbo.HPAR,
+	"HPARS":      gumbo.HPARS,
+	"PPAR":       gumbo.PPAR,
+}
+
+// Config configures a Server.
+type Config struct {
+	// PhaseWorkers and ConcurrentJobs are passed to
+	// gumbo.WithHostParallelism (0 = GOMAXPROCS). ConcurrentJobs also
+	// sizes the admission-control semaphore: at most that many plan
+	// executions run at once; further requests queue.
+	PhaseWorkers   int
+	ConcurrentJobs int
+	// PlanCacheSize bounds the LRU plan cache (entries; 0 = 128).
+	PlanCacheSize int
+	// BatchWindow is how long a micro-batch collects queries before it
+	// runs (0 = 2ms; negative disables batching even for batch=true
+	// requests).
+	BatchWindow time.Duration
+	// MaxBatch flushes a micro-batch early once this many queries wait
+	// (0 = 16).
+	MaxBatch int
+	// MaxBodyBytes caps the size of a request body (0 = 32 MiB): one
+	// oversized load must not be able to exhaust the daemon's memory
+	// before validation even starts.
+	MaxBodyBytes int64
+	// Options are applied to the shared gumbo.System after
+	// WithHostParallelism (e.g. gumbo.WithScale for scaled-down costs).
+	Options []gumbo.Option
+}
+
+// Server is the concurrent query service. Create one with New and mount
+// Handler on an http.Server; all methods are safe for concurrent use.
+type Server struct {
+	sys      *gumbo.System
+	cache    *planCache
+	sem      chan struct{}
+	window   time.Duration
+	maxBatch int
+	maxBody  int64
+
+	mu    sync.RWMutex
+	dbs   map[string]*dbEntry
+	dbSeq atomic.Uint64 // dbEntry id allocator
+
+	queries        atomic.Uint64 // client queries received
+	batchRuns      atomic.Uint64 // merged multi-query runs
+	batchedQueries atomic.Uint64 // client queries answered by merged runs
+	mergeFallbacks atomic.Uint64 // batches that could not run merged
+	active         atomic.Int64  // plan executions currently admitted
+}
+
+// dbEntry is one named database session. id is unique per creation
+// (name plus a server-lifetime sequence number) and keys the plan
+// cache, so a dropped-and-recreated database can never hit plans cached
+// for its predecessor — even if an in-flight query re-inserts a plan
+// after the drop's purge, the stale entry is unreachable under the new
+// id and simply ages out of the LRU.
+type dbEntry struct {
+	name    string
+	id      string
+	db      *gumbo.Database
+	loadMu  sync.Mutex // serializes read-modify-write bulk loads
+	batcher *batcher
+}
+
+// New returns a Server with its own gumbo.System.
+func New(cfg Config) *Server {
+	admit := cfg.ConcurrentJobs
+	if admit <= 0 {
+		admit = runtime.GOMAXPROCS(0)
+	}
+	window := cfg.BatchWindow
+	if window == 0 {
+		window = 2 * time.Millisecond
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 16
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	opts := append([]gumbo.Option{gumbo.WithHostParallelism(cfg.PhaseWorkers, cfg.ConcurrentJobs)}, cfg.Options...)
+	return &Server{
+		sys:      gumbo.New(opts...),
+		cache:    newPlanCache(cfg.PlanCacheSize),
+		sem:      make(chan struct{}, admit),
+		window:   window,
+		maxBatch: maxBatch,
+		maxBody:  maxBody,
+		dbs:      make(map[string]*dbEntry),
+	}
+}
+
+// System returns the shared gumbo.System (for tests comparing service
+// responses with direct library runs under identical configuration).
+func (s *Server) System() *gumbo.System { return s.sys }
+
+// Handler returns the HTTP API (see docs/SERVER.md for the reference):
+//
+//	GET    /healthz              liveness
+//	GET    /v1/stats             service counters
+//	GET    /v1/dbs               list databases
+//	PUT    /v1/db/{db}           create a database
+//	GET    /v1/db/{db}           database info (relations, generation)
+//	DELETE /v1/db/{db}           drop a database
+//	POST   /v1/db/{db}/load      bulk-load relations
+//	POST   /v1/db/{db}/query     evaluate an SGF query
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/dbs", s.handleListDBs)
+	mux.HandleFunc("PUT /v1/db/{db}", s.handleCreateDB)
+	mux.HandleFunc("GET /v1/db/{db}", s.handleDBInfo)
+	mux.HandleFunc("DELETE /v1/db/{db}", s.handleDropDB)
+	mux.HandleFunc("POST /v1/db/{db}/load", s.handleLoad)
+	mux.HandleFunc("POST /v1/db/{db}/query", s.handleQuery)
+	return mux
+}
+
+// runQuery plans (through the LRU cache) and executes q against the
+// entry's database under the admission semaphore. strategyAuto resolves
+// via System.Auto. Returns the result and whether the plan was a cache
+// hit.
+//
+// The generation is read once, before the cache lookup: a load that
+// lands between the read and the run may or may not be visible to the
+// run (the same holds for a direct library call), but the cache key is
+// consistent — a plan is only ever reused for the exact generation it
+// was stored under.
+func (s *Server) runQuery(dbe *dbEntry, q *gumbo.Query, strategy gumbo.Strategy) (*gumbo.Result, bool, error) {
+	if strategy == strategyAuto {
+		strategy = s.sys.Auto(q)
+	}
+	// The admission slot covers planning too: on a cache miss,
+	// cost-based planning samples the database (real engine work that
+	// must not run unbounded).
+	s.sem <- struct{}{}
+	s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		<-s.sem
+	}()
+	gen := dbe.db.Generation()
+	key := planKey(dbe.id, gen, strategy, q.String())
+	plan, hit := s.cache.get(key)
+	if !hit {
+		var err error
+		plan, err = s.sys.Plan(q, dbe.db, strategy)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cache.put(key, plan)
+	}
+	res, err := s.sys.RunPlan(plan, dbe.db)
+	return res, hit, err
+}
+
+func (s *Server) lookup(name string) *dbEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dbs[name]
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("db")
+	if !validDBName(name) {
+		writeError(w, http.StatusBadRequest, "invalid database name %q (want 1-64 chars of [A-Za-z0-9_.-])", name)
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.dbs[name]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "database %q already exists", name)
+		return
+	}
+	dbe := &dbEntry{
+		name: name,
+		id:   fmt.Sprintf("%s#%d", name, s.dbSeq.Add(1)),
+		db:   gumbo.NewDatabase(),
+	}
+	dbe.batcher = newBatcher(s, dbe, s.window, s.maxBatch)
+	s.dbs[name] = dbe
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"db": name})
+}
+
+func (s *Server) handleDropDB(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("db")
+	s.mu.Lock()
+	dbe, exists := s.dbs[name]
+	delete(s.dbs, name)
+	s.mu.Unlock()
+	if !exists {
+		writeError(w, http.StatusNotFound, "database %q not found", name)
+		return
+	}
+	s.cache.purgeDB(dbe.id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"dbs": names})
+}
+
+// relationInfo describes one relation in info/load responses.
+type relationInfo struct {
+	Name  string `json:"name"`
+	Arity int    `json:"arity"`
+	Size  int    `json:"size"`
+	Added int    `json:"added,omitempty"`
+}
+
+func (s *Server) handleDBInfo(w http.ResponseWriter, r *http.Request) {
+	dbe := s.lookup(r.PathValue("db"))
+	if dbe == nil {
+		writeError(w, http.StatusNotFound, "database %q not found", r.PathValue("db"))
+		return
+	}
+	relations := dbe.db.Relations()
+	rels := make([]relationInfo, 0, len(relations)) // non-nil: empty db encodes as []
+	for _, rel := range relations {
+		rels = append(rels, relationInfo{Name: rel.Name(), Arity: rel.Arity(), Size: rel.Size()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"db":         dbe.name,
+		"generation": dbe.db.Generation(),
+		"relations":  rels,
+	})
+}
+
+// loadRequest is the bulk-load payload. Tuple values are JSON numbers
+// (integers) or strings.
+type loadRequest struct {
+	Relations []struct {
+		Name   string  `json:"name"`
+		Arity  int     `json:"arity"`
+		Tuples [][]any `json:"tuples"`
+	} `json:"relations"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	dbe := s.lookup(r.PathValue("db"))
+	if dbe == nil {
+		writeError(w, http.StatusNotFound, "database %q not found", r.PathValue("db"))
+		return
+	}
+	var req loadRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad load request: %v", err)
+		return
+	}
+	if len(req.Relations) == 0 {
+		writeError(w, http.StatusBadRequest, "load request names no relations")
+		return
+	}
+	// Loads into one database are serialized: loading appends to a copy
+	// of the current relation and republishes it (relations are immutable
+	// once in a database), which would lose tuples under a concurrent
+	// read-modify-write.
+	dbe.loadMu.Lock()
+	defer dbe.loadMu.Unlock()
+	// Two passes make the request atomic: decode and validate everything
+	// first, publish only if the whole payload is good — a 400 response
+	// guarantees the database is untouched. pending accumulates per name
+	// so a relation listed twice in one request merges instead of the
+	// later entry overwriting the earlier one.
+	pending := make(map[string]*gumbo.Relation, len(req.Relations))
+	var order []string
+	infos := make([]relationInfo, 0, len(req.Relations))
+	for _, rp := range req.Relations {
+		if rp.Name == "" || rp.Arity <= 0 {
+			writeError(w, http.StatusBadRequest, "relation needs a name and a positive arity (got %q/%d)", rp.Name, rp.Arity)
+			return
+		}
+		rel, seen := pending[rp.Name]
+		if seen {
+			if rel.Arity() != rp.Arity {
+				writeError(w, http.StatusBadRequest, "relation %s listed twice with arities %d and %d", rp.Name, rel.Arity(), rp.Arity)
+				return
+			}
+		} else {
+			rel = gumbo.NewRelation(rp.Name, rp.Arity)
+			if old := dbe.db.Relation(rp.Name); old != nil {
+				if old.Arity() != rp.Arity {
+					writeError(w, http.StatusBadRequest, "relation %s exists with arity %d, load says %d", rp.Name, old.Arity(), rp.Arity)
+					return
+				}
+				for _, t := range old.Tuples() {
+					rel.Add(t)
+				}
+			}
+			pending[rp.Name] = rel
+			order = append(order, rp.Name)
+		}
+		added := 0
+		for ti, raw := range rp.Tuples {
+			t, err := decodeTuple(raw, rp.Arity)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "relation %s tuple %d: %v", rp.Name, ti, err)
+				return
+			}
+			if rel.Add(t) {
+				added++
+			}
+		}
+		infos = append(infos, relationInfo{Name: rp.Name, Arity: rp.Arity, Size: rel.Size(), Added: added})
+	}
+	for _, name := range order {
+		dbe.db.Put(pending[name])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"db":         dbe.name,
+		"generation": dbe.db.Generation(),
+		"relations":  infos,
+	})
+}
+
+// queryRequest is the query payload. Strategy is one of the names in the
+// strategy cheat-sheet ("GREEDY", "GREEDY-SGF", ...) or "auto"/empty for
+// System.Auto. Batch opts the request into micro-batching (batched
+// queries always run under auto; see batcher).
+type queryRequest struct {
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+	Batch    bool   `json:"batch"`
+}
+
+// queryResponse is the query result. Tuples are in sorted order — the
+// canonical rendering, identical to a direct library run.
+type queryResponse struct {
+	Output       string      `json:"output"`
+	Arity        int         `json:"arity"`
+	Tuples       [][]any     `json:"tuples"`
+	Strategy     string      `json:"strategy"`
+	Plan         planInfo    `json:"plan"`
+	Metrics      metricsInfo `json:"metrics"`
+	Jobs         []jobInfo   `json:"jobs"`
+	Cache        string      `json:"cache"` // "hit" | "miss"
+	BatchSize    int         `json:"batch_size"`
+	BatchOutputs []string    `json:"batch_outputs,omitempty"`
+	Fingerprint  string      `json:"fingerprint"`
+}
+
+// planInfo summarizes the executed plan.
+type planInfo struct {
+	Jobs   int `json:"jobs"`
+	Rounds int `json:"rounds"`
+}
+
+// metricsInfo mirrors gumbo.Metrics on the wire.
+type metricsInfo struct {
+	NetTimeSec   float64 `json:"net_time_s"`
+	TotalTimeSec float64 `json:"total_time_s"`
+	InputMB      float64 `json:"input_mb"`
+	CommMB       float64 `json:"comm_mb"`
+	OutputMB     float64 `json:"output_mb"`
+	Jobs         int     `json:"jobs"`
+	Rounds       int     `json:"rounds"`
+}
+
+// jobInfo mirrors one gumbo.JobStats on the wire (per-job metrics).
+type jobInfo struct {
+	Name        string  `json:"name"`
+	InputMB     float64 `json:"input_mb"`
+	InterMB     float64 `json:"inter_mb"`
+	OutputMB    float64 `json:"output_mb"`
+	Records     int64   `json:"records"`
+	MapTasks    int     `json:"map_tasks"`
+	ReduceTasks int     `json:"reduce_tasks"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	dbe := s.lookup(r.PathValue("db"))
+	if dbe == nil {
+		writeError(w, http.StatusNotFound, "database %q not found", r.PathValue("db"))
+		return
+	}
+	var req queryRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	q, err := gumbo.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	strategy := strategyAuto
+	if req.Strategy != "" && req.Strategy != "auto" {
+		st, ok := strategies[req.Strategy]
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+			return
+		}
+		strategy = st
+	}
+	s.queries.Add(1)
+
+	var out batchOutcome
+	if req.Batch && s.window > 0 {
+		out = dbe.batcher.submit(q)
+	} else {
+		res, hit, err := s.runQuery(dbe, q, strategy)
+		out = batchOutcome{res: res, cacheHit: hit, batchSize: 1, outputs: []string{q.Name()}, err: err}
+	}
+	if out.err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", out.err)
+		return
+	}
+	rel := out.res.Outputs.Relation(q.Name())
+	if rel == nil {
+		writeError(w, http.StatusInternalServerError, "run produced no relation %q", q.Name())
+		return
+	}
+	cache := "miss"
+	if out.cacheHit {
+		cache = "hit"
+	}
+	resp := queryResponse{
+		Output:      q.Name(),
+		Arity:       rel.Arity(),
+		Tuples:      encodeTuples(rel),
+		Strategy:    string(out.res.Plan.Strategy()),
+		Plan:        planInfo{Jobs: out.res.Plan.Jobs(), Rounds: out.res.Plan.Rounds()},
+		Metrics:     encodeMetrics(out.res.Metrics),
+		Jobs:        encodeJobs(out.res.JobStats),
+		Cache:       cache,
+		BatchSize:   out.batchSize,
+		Fingerprint: fmt.Sprintf("%016x", q.Fingerprint()),
+	}
+	if out.batchSize > 1 {
+		resp.BatchOutputs = out.outputs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.counters()
+	s.mu.RLock()
+	ndbs := len(s.dbs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"databases":          ndbs,
+		"queries":            s.queries.Load(),
+		"batch_runs":         s.batchRuns.Load(),
+		"batched_queries":    s.batchedQueries.Load(),
+		"merge_fallbacks":    s.mergeFallbacks.Load(),
+		"plan_cache_hits":    hits,
+		"plan_cache_misses":  misses,
+		"plan_cache_size":    size,
+		"active_runs":        s.active.Load(),
+		"admission_capacity": cap(s.sem),
+	})
+}
+
+// ---- encoding helpers ----
+
+// encodeTuples renders a relation's tuples in sorted order: integers as
+// JSON numbers, interned strings as JSON strings. Rows are sorted by
+// their encoded values (integers before strings per column, integers
+// numerically, strings lexicographically) — NOT by raw Value handles,
+// whose string portion depends on process-global intern order — so the
+// wire form is canonical: a function of relation contents only,
+// independent of insertion order, scheduling, batching, caching, and of
+// what other requests the process served earlier.
+func encodeTuples(rel *gumbo.Relation) [][]any {
+	tuples := rel.Tuples()
+	out := make([][]any, len(tuples))
+	for i, t := range tuples {
+		row := make([]any, len(t))
+		for j, v := range t {
+			if v.IsString() {
+				row[j] = v.Text()
+			} else {
+				row[j] = int64(v)
+			}
+		}
+		out[i] = row
+	}
+	sort.Slice(out, func(i, j int) bool { return compareRows(out[i], out[j]) < 0 })
+	return out
+}
+
+// compareRows orders encoded rows column by column: int64 before
+// string, ints numerically, strings lexicographically.
+func compareRows(a, b []any) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		ai, aInt := a[i].(int64)
+		bi, bInt := b[i].(int64)
+		switch {
+		case aInt && bInt:
+			if ai != bi {
+				if ai < bi {
+					return -1
+				}
+				return 1
+			}
+		case aInt:
+			return -1 // ints sort before strings
+		case bInt:
+			return 1
+		default:
+			as, bs := a[i].(string), b[i].(string)
+			if as != bs {
+				if as < bs {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// decodeTuple converts a JSON row into a Tuple: non-negative integral
+// numbers map to integer values, strings to interned strings. Negative
+// numbers are rejected rather than silently interned as strings
+// (relation.Value reserves negative handles for interned text, so a
+// negative integer could not round-trip back as a JSON number).
+func decodeTuple(raw []any, arity int) (gumbo.Tuple, error) {
+	if len(raw) != arity {
+		return nil, fmt.Errorf("got %d values, want %d", len(raw), arity)
+	}
+	t := make(gumbo.Tuple, arity)
+	for i, v := range raw {
+		switch x := v.(type) {
+		case string:
+			t[i] = gumbo.Str(x)
+		case json.Number:
+			n, err := x.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("value %d: %q is not an integer", i, x.String())
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("value %d: negative integer %d is not representable; send it as a string", i, n)
+			}
+			t[i] = gumbo.Int(n)
+		default:
+			return nil, fmt.Errorf("value %d: unsupported JSON type %T (want integer or string)", i, v)
+		}
+	}
+	return t, nil
+}
+
+func encodeMetrics(m gumbo.Metrics) metricsInfo {
+	return metricsInfo{
+		NetTimeSec:   m.NetTime,
+		TotalTimeSec: m.TotalTime,
+		InputMB:      m.InputMB,
+		CommMB:       m.CommMB,
+		OutputMB:     m.OutputMB,
+		Jobs:         m.Jobs,
+		Rounds:       m.Rounds,
+	}
+}
+
+func encodeJobs(stats []gumbo.JobStats) []jobInfo {
+	out := make([]jobInfo, len(stats))
+	for i, st := range stats {
+		out[i] = jobInfo{
+			Name:        st.Name,
+			InputMB:     st.InputMB(),
+			InterMB:     st.InterMB(),
+			OutputMB:    st.OutputMB,
+			Records:     st.Records(),
+			MapTasks:    st.MapTasks,
+			ReduceTasks: st.ReduceTasks,
+		}
+	}
+	return out
+}
+
+// decodeJSON decodes the request body into dst, capped at the server's
+// body limit (an over-limit body fails decoding with a "request body
+// too large" error rather than being materialized).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.UseNumber()
+	return dec.Decode(dst)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+func validDBName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -171,8 +171,10 @@ func (a Atom) Rename(rel string) Atom {
 	return Atom{Rel: rel, Args: append([]Term(nil), a.Args...)}
 }
 
-// Condition is a Boolean combination of atoms: the C in a WHERE clause.
-// The concrete types are AtomCond, Not, And and Or.
+// Condition is a Boolean combination of atoms: the WHERE clause C of a
+// basic SGF query. The concrete types are AtomCond, Not, And and Or; a
+// nil Condition means an absent WHERE clause (always true). String
+// renders the condition in the paper's syntax, re-parseable by Parse.
 type Condition interface {
 	fmt.Stringer
 	// walk visits every atom leaf in left-to-right order.
@@ -227,8 +229,11 @@ func (c Or) eval(truth func(string) bool) bool {
 	return false
 }
 
+// String renders the atom in the paper's syntax, e.g. S(x, "bad").
 func (c AtomCond) String() string { return c.Atom.String() }
 
+// String renders the negation, parenthesizing non-atom operands:
+// NOT S(x) but NOT (S(x) AND T(x)).
 func (c Not) String() string {
 	switch c.C.(type) {
 	case AtomCond:
@@ -252,6 +257,8 @@ func condChild(parent string, child Condition) string {
 	}
 }
 
+// String joins the operands with AND, parenthesizing nested Ors (AND
+// binds tighter than OR; see the parser's precedence).
 func (c And) String() string {
 	parts := make([]string, len(c.Cs))
 	for i, x := range c.Cs {
@@ -260,6 +267,8 @@ func (c And) String() string {
 	return strings.Join(parts, " AND ")
 }
 
+// String joins the operands with OR, parenthesizing nested mixed
+// conjunctions where required for re-parseability.
 func (c Or) String() string {
 	parts := make([]string, len(c.Cs))
 	for i, x := range c.Cs {

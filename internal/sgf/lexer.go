@@ -26,6 +26,8 @@ const (
 	tokNot
 )
 
+// String names the token kind as it should read in a syntax-error
+// message ("identifier", "':='", "keyword SELECT", ...).
 func (k tokenKind) String() string {
 	switch k {
 	case tokEOF:

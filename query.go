@@ -2,6 +2,8 @@ package gumbo
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"strings"
 
@@ -41,6 +43,19 @@ func MustParse(src string) *Query {
 
 // Name returns the final output relation's name.
 func (q *Query) Name() string { return q.prog.OutputName() }
+
+// Fingerprint returns a 64-bit FNV-1a hash of the program's canonical
+// rendering (String): two Querys with the same canonical text always
+// have the same fingerprint, so it — combined with a strategy and a
+// Database.Generation — makes a compact plan-cache key. The converse
+// does not hold (64-bit hashes can collide): services that cannot
+// tolerate collisions should key on String() itself; internal/server
+// does, and uses Fingerprint only for log correlation.
+func (q *Query) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, q.prog.String())
+	return h.Sum64()
+}
 
 // OutputNames returns the names of every output relation the program
 // defines, in definition order.
