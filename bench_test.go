@@ -286,6 +286,25 @@ func BenchmarkProgramJobsSequential(b *testing.B) { benchProgramJobs(b, 1) }
 // the scheduler's wall-clock speedup.
 func BenchmarkProgramJobsDAGParallel(b *testing.B) { benchProgramJobs(b, 0) }
 
+// BenchmarkGreedyBSGFQuery drives the full public pipeline — parse,
+// Greedy-BSGF planning (with sampling), MSJ+EVAL execution, output
+// merge — on the A1 workload (4 semi-joins over one guard, ~50k guard
+// tuples at this scale): the end-to-end number the engine hot-path
+// micro-benchmarks roll up into.
+func BenchmarkGreedyBSGFQuery(b *testing.B) {
+	wl := workload.A1()
+	db := wl.Build(0.0005)
+	q := MustParse(wl.Program.String())
+	s := New(WithScale(0.0005))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(q, db, Greedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParser measures SGF parsing+validation throughput.
 func BenchmarkParser(b *testing.B) {
 	src := workload.C3().Program.String()

@@ -99,14 +99,15 @@ func newSemiJoinFullJob(name, out string, q *sgf.BSGF, atom sgf.Atom, k Knobs) *
 		Inputs:  inputs,
 		Outputs: map[string]int{out: q.Guard.Arity()},
 		Mapper: mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+			var kb [48]byte // append-style shuffle keys, see core.NewMSJJob
 			if input == q.Guard.Rel && guardMatcher.Matches(t) {
-				emit(guardProj.Apply(t).Key(), core.TupleVal{T: t})
+				emit(guardProj.AppendKey(kb[:0], t), core.TupleVal{T: t})
 			}
 			if input == atom.Rel && condMatcher.Matches(t) {
-				emit(condProj.Apply(t).Key(), core.Assert{Class: 0})
+				emit(condProj.AppendKey(kb[:0], t), core.Assert{Class: 0})
 			}
 		}),
-		Reducer: mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+		Reducer: mr.ReducerFunc(func(key []byte, msgs []mr.Message, o *mr.Output) {
 			asserted := false
 			for _, m := range msgs {
 				if _, ok := m.(core.Assert); ok {
@@ -150,15 +151,16 @@ func newCombineFullJob(name string, q *sgf.BSGF, xNames []string, k Knobs) *mr.J
 		Inputs:  inputs,
 		Outputs: map[string]int{q.Name: q.OutArity()},
 		Mapper: mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+			var kb [48]byte // whole-tuple join keys, built append-style
 			if input == q.Guard.Rel {
 				if guardMatcher.Matches(t) {
-					emit(t.Key(), core.XIndex{Atom: -1})
+					emit(t.AppendKey(kb[:0]), core.XIndex{Atom: -1})
 				}
 				return
 			}
-			emit(t.Key(), core.XIndex{Atom: roleOf[input]})
+			emit(t.AppendKey(kb[:0]), core.XIndex{Atom: roleOf[input]})
 		}),
-		Reducer: mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+		Reducer: mr.ReducerFunc(func(key []byte, msgs []mr.Message, o *mr.Output) {
 			truth := make(map[string]bool, len(atomKeys))
 			guardPresent := false
 			for _, m := range msgs {
@@ -173,7 +175,7 @@ func newCombineFullJob(name string, q *sgf.BSGF, xNames []string, k Knobs) *mr.J
 				return
 			}
 			if sgf.EvalCondition(q.Where, truth) {
-				o.Add(q.Name, project.Apply(relation.TupleFromKey(key)))
+				o.Add(q.Name, project.Apply(relation.TupleFromKeyBytes(key)))
 			}
 		}),
 	}

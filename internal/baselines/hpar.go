@@ -117,20 +117,21 @@ func hparStageJob(name string, q *sgf.BSGF, stageAtoms []sgf.Atom, inRel, outRel
 		Inputs:  inputs,
 		Outputs: map[string]int{outRel: outArity},
 		Mapper: mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+			var kb [48]byte // append-style shuffle keys, see core.NewMSJJob
 			if input == inRel && len(t) == inArity {
 				if first && !guardMatcher.Matches(t) {
 					return
 				}
 				key := t.Project(keyPositions)
-				emit(key.Key(), core.TupleVal{T: t})
+				emit(key.AppendKey(kb[:0]), core.TupleVal{T: t})
 			}
 			for _, cr := range condRoles[input] {
 				if cr.matcher.Matches(t) {
-					emit(cr.proj.Apply(t).Key(), core.Assert{Class: cr.class})
+					emit(cr.proj.AppendKey(kb[:0], t), core.Assert{Class: cr.class})
 				}
 			}
 		}),
-		Reducer: mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+		Reducer: mr.ReducerFunc(func(key []byte, msgs []mr.Message, o *mr.Output) {
 			flags := make([]relation.Value, len(stageAtoms))
 			for _, m := range msgs {
 				if a, ok := m.(core.Assert); ok {
@@ -185,9 +186,10 @@ func hparFilterJob(name string, q *sgf.BSGF, inRel string, inArity int, flagPos 
 				return
 			}
 			p := project.Apply(t)
-			emit(p.Key(), core.TupleVal{T: p})
+			var kb [48]byte
+			emit(p.AppendKey(kb[:0]), core.TupleVal{T: p})
 		}),
-		Reducer: mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+		Reducer: mr.ReducerFunc(func(key []byte, msgs []mr.Message, o *mr.Output) {
 			if len(msgs) > 0 {
 				o.Add(q.Name, msgs[0].(core.TupleVal).T)
 			}

@@ -117,12 +117,13 @@ func (e *Estimator) sampleEmit(cacheKey, relName string, atom sgf.Atom, joinVars
 	stride := e.stride()
 	sampled, conforming := 0, 0
 	var bytes int64
+	var kb [32]byte
 	for i := 0; i < r.Size(); i += stride {
 		sampled++
 		t := r.Tuple(i)
 		if matcher.Matches(t) {
 			conforming++
-			bytes += mr.KeyBytes(proj.Apply(t).Key()) + payload
+			bytes += mr.KeyBytes(proj.AppendKey(kb[:0], t)) + payload
 		}
 	}
 	if sampled > 0 {

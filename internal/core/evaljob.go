@@ -93,17 +93,18 @@ func NewEvalJob(name string, specs []EvalSpec) (*mr.Job, error) {
 	}
 
 	mapper := mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
+		var kb [24]byte // append-style shuffle keys, see NewMSJJob
 		for _, g := range guardRoles[input] {
 			if g.matcher.Matches(t) {
-				emit(evalKey(g.q, int64(id)), TupleVal{T: t})
+				emit(appendEvalKey(kb[:0], g.q, int64(id)), TupleVal{T: t})
 			}
 		}
 		if xr, ok := xRoles[input]; ok {
-			emit(evalKey(xr.q, int64(t[0])), XIndex{Atom: xr.atom})
+			emit(appendEvalKey(kb[:0], xr.q, int64(t[0])), XIndex{Atom: xr.atom})
 		}
 	})
 
-	reducer := mr.ReducerFunc(func(key string, msgs []mr.Message, out *mr.Output) {
+	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
 		q, _ := parseEvalKey(key)
 		spec := &qspecs[q]
 		var guard relation.Tuple

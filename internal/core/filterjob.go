@@ -57,14 +57,14 @@ func NewFilterJob(name string, step FilterStep) (*mr.Job, error) {
 			if projectSet {
 				out = project.Apply(t)
 			}
-			emit(string(guardProj.AppendKey(kb[:0], t)), ReqTuple{Q: 0, Disjunct: -1, Out: out})
+			emit(guardProj.AppendKey(kb[:0], t), ReqTuple{Q: 0, Disjunct: -1, Out: out})
 		}
 		if input == step.Cond.Rel && condMatcher.Matches(t) {
-			emit(string(condProj.AppendKey(kb[:0], t)), Assert{Class: 0})
+			emit(condProj.AppendKey(kb[:0], t), Assert{Class: 0})
 		}
 	})
 
-	reducer := mr.ReducerFunc(func(key string, msgs []mr.Message, out *mr.Output) {
+	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
 		asserted := false
 		for _, m := range msgs {
 			if _, ok := m.(Assert); ok {
@@ -110,9 +110,9 @@ func NewUnionProjectJob(name, out string, guard sgf.Atom, selectVars []string, b
 		}
 		var kb [32]byte
 		p := project.Apply(t)
-		emit(string(p.AppendKey(kb[:0])), TupleVal{T: p})
+		emit(p.AppendKey(kb[:0]), TupleVal{T: p})
 	})
-	reducer := mr.ReducerFunc(func(key string, msgs []mr.Message, o *mr.Output) {
+	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, o *mr.Output) {
 		if len(msgs) > 0 {
 			o.Add(out, msgs[0].(TupleVal).T)
 		}

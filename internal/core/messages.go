@@ -81,18 +81,19 @@ type XIndex struct {
 // SizeBytes implements mr.Message.
 func (m XIndex) SizeBytes() int64 { return xIndexBytes }
 
-// evalKey builds the EVAL shuffle key (query index, guard tuple id).
-func evalKey(q int32, id int64) string {
-	var b [20]byte
+// appendEvalKey appends the EVAL shuffle key (query index, guard tuple
+// id) to dst, so mappers build it in a reused stack buffer.
+func appendEvalKey(dst []byte, q int32, id int64) []byte {
+	var b [2 * binary.MaxVarintLen64]byte
 	n := binary.PutVarint(b[:], int64(q))
 	n += binary.PutVarint(b[n:], id)
-	return string(b[:n])
+	return append(dst, b[:n]...)
 }
 
 // parseEvalKey decodes an EVAL shuffle key.
-func parseEvalKey(key string) (q int32, id int64) {
-	qv, n := binary.Varint([]byte(key))
-	idv, _ := binary.Varint([]byte(key[n:]))
+func parseEvalKey(key []byte) (q int32, id int64) {
+	qv, n := binary.Varint(key)
+	idv, _ := binary.Varint(key[n:])
 	return int32(qv), idv
 }
 

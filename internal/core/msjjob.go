@@ -91,24 +91,25 @@ func NewMSJJob(name string, eqs []Equation) (*mr.Job, error) {
 	}
 
 	mapper := mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
-		// Shuffle keys are built append-style into one stack buffer
-		// (string() copies at emit), skipping the projected tuple and
-		// builder allocations of proj.Apply(t).Key().
+		// Shuffle keys are built append-style into one stack buffer,
+		// skipping the projected tuple and builder allocations of
+		// proj.Apply(t).Key(); the engine copies the key into its arena
+		// at emit, so the buffer is reusable immediately.
 		var kb [32]byte
 		for _, g := range guardRoles[input] {
 			if g.matcher.Matches(t) {
-				emit(string(g.proj.AppendKey(kb[:0], t)), ReqID{Eq: g.eq, ID: int64(id)})
+				emit(g.proj.AppendKey(kb[:0], t), ReqID{Eq: g.eq, ID: int64(id)})
 			}
 		}
 		for _, ci := range assertRoles[input] {
 			c := classes[ci]
 			if c.matcher.Matches(t) {
-				emit(string(c.proj.AppendKey(kb[:0], t)), Assert{Class: ci})
+				emit(c.proj.AppendKey(kb[:0], t), Assert{Class: ci})
 			}
 		}
 	})
 
-	reducer := mr.ReducerFunc(func(key string, msgs []mr.Message, out *mr.Output) {
+	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
 		var asserted map[int32]bool
 		for _, m := range msgs {
 			if a, ok := m.(Assert); ok {

@@ -248,19 +248,19 @@ func NewOneRoundJob(name string, queries []*sgf.BSGF) (*mr.Job, error) {
 			}
 			out := spec.project.Apply(t)
 			for di := range spec.groups {
-				emit(string(spec.groups[di].proj.AppendKey(kb[:0], t)),
+				emit(spec.groups[di].proj.AppendKey(kb[:0], t),
 					ReqTuple{Q: gr.q, Disjunct: int32(di), Out: out})
 			}
 		}
 		for _, ci := range assertRoles[input] {
 			c := classes[ci]
 			if c.matcher.Matches(t) {
-				emit(string(c.proj.AppendKey(kb[:0], t)), Assert{Class: ci})
+				emit(c.proj.AppendKey(kb[:0], t), Assert{Class: ci})
 			}
 		}
 	})
 
-	reducer := mr.ReducerFunc(func(key string, msgs []mr.Message, out *mr.Output) {
+	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
 		var asserted map[int32]bool
 		for _, m := range msgs {
 			if a, ok := m.(Assert); ok {

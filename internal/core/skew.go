@@ -92,13 +92,14 @@ func DetectHeavyKeys(cfg SkewConfig, eqs []Equation, db *relation.Database) map[
 	return heavy
 }
 
-// saltKey appends a salt byte pair to a shuffle key. Salted keys never
-// collide with unsalted ones because Tuple keys are varint sequences and
-// the suffix changes the length.
-func saltKey(key string, salt int) string {
+// appendSalt appends a salt byte pair to a shuffle key. Salted keys
+// never collide with unsalted ones because Tuple keys are varint
+// sequences and the suffix changes the length.
+func appendSalt(key []byte, salt int) []byte {
 	var b [4]byte
 	n := binary.PutUvarint(b[:], uint64(salt))
-	return key + "\xff" + string(b[:n])
+	key = append(key, 0xff)
+	return append(key, b[:n]...)
 }
 
 // saltOf deterministically spreads a guard tuple id over salts.
@@ -125,17 +126,21 @@ func NewMSJJobSkew(name string, eqs []Equation, heavy map[string]bool, cfg SkewC
 	}
 	inner := base.Mapper
 	base.Mapper = mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
-		inner.Map(input, id, t, func(key string, msg mr.Message) {
-			if !heavy[key] {
+		// sb holds the salted key; the inner mapper's key buffer must not
+		// be appended to in place (the engine only copies keys at emit,
+		// and the replicated-assert loop reuses the same base key).
+		var sb [48]byte
+		inner.Map(input, id, t, func(key []byte, msg mr.Message) {
+			if !heavy[string(key)] { // map lookup, no allocation
 				emit(key, msg)
 				return
 			}
 			switch m := msg.(type) {
 			case ReqID:
-				emit(saltKey(key, saltOf(m.ID, cfg.SaltFactor)), msg)
+				emit(appendSalt(append(sb[:0], key...), saltOf(m.ID, cfg.SaltFactor)), msg)
 			case Assert:
 				for s := 0; s < cfg.SaltFactor; s++ {
-					emit(saltKey(key, s), msg)
+					emit(appendSalt(append(sb[:0], key...), s), msg)
 				}
 			default:
 				emit(key, msg)

@@ -139,7 +139,7 @@ func TestSaltKeyDistinctness(t *testing.T) {
 	base := relation.Tuple{relation.Value(7)}.Key()
 	seen := map[string]bool{base: true}
 	for s := 0; s < 32; s++ {
-		k := saltKey(base, s)
+		k := string(appendSalt(append([]byte(nil), base...), s))
 		if seen[k] {
 			t.Fatalf("salt collision at %d", s)
 		}

@@ -28,19 +28,23 @@ func benchShuffleDB() *relation.Database {
 }
 
 // benchShuffleJob is semijoinJob with the mapper's shuffle keys
-// precomputed per join value: emitting allocates nothing, so the
+// precomputed per join value and the reducer's output tuple
+// preconstructed: emitting allocates nothing on either side, so the
 // benchmark isolates the engine's per-record work (record handling,
-// packing, shuffle partitioning, grouping, accounting) from key
-// construction, which BenchmarkMSJJob at the repo root covers.
+// packing, shuffle partitioning, grouping, output dedup, accounting)
+// from key and tuple construction, which BenchmarkMSJJob at the repo
+// root covers.
 func benchShuffleJob(packing bool) *Job {
-	keys := make([]string, 509)
+	keys := make([][]byte, 509)
 	for v := range keys {
-		keys[v] = tup(int64(v)).Key()
+		keys[v] = []byte(tup(int64(v)).Key())
 	}
-	// Preconstructed messages: emitting boxes no interface value, so
-	// allocs/op counts only what the engine itself does per record.
+	// Preconstructed messages and output tuple: emitting boxes no
+	// interface value and reducing builds no tuples, so allocs/op counts
+	// only what the engine itself does per record.
 	var req Message = intMsg(1000)
 	var assert Message = intMsg(-1)
+	zOut := tup(0, 0)
 	job := semijoinJob(packing)
 	job.Mapper = MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
 		switch input {
@@ -48,6 +52,23 @@ func benchShuffleJob(packing bool) *Job {
 			emit(keys[t[1]], req)
 		case "S":
 			emit(keys[t[0]], assert)
+		}
+	})
+	job.Reducer = ReducerFunc(func(key []byte, msgs []Message, out *Output) {
+		hasAssert := false
+		for _, m := range msgs {
+			if m.(intMsg) == -1 {
+				hasAssert = true
+				break
+			}
+		}
+		if !hasAssert {
+			return
+		}
+		for _, m := range msgs {
+			if m.(intMsg) >= 1000 {
+				out.Add("Z", zOut)
+			}
 		}
 	})
 	return job
@@ -74,9 +95,9 @@ func BenchmarkRunJobShuffle(b *testing.B) {
 // distinct keys, every eighth record packed (as the packing optimization
 // produces), in round-robin key order.
 func benchPartition(n, k int) []record {
-	keys := make([]string, k)
+	keys := make([][]byte, k)
 	for i := range keys {
-		keys[i] = relation.Tuple{relation.Value(i)}.Key()
+		keys[i] = []byte(relation.Tuple{relation.Value(i)}.Key())
 	}
 	recs := make([]record, 0, n)
 	for i := 0; i < n; i++ {
@@ -102,7 +123,7 @@ func BenchmarkReduceGrouping(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		forEachGroup(recs, func(key string, msgs []Message) { n += len(msgs) })
+		forEachGroup(recs, func(key []byte, msgs []Message) { n += len(msgs) })
 		if n != want {
 			b.Fatalf("flattened %d messages, want %d", n, want)
 		}

@@ -151,15 +151,16 @@ func TestHashKeyMatchesFNV(t *testing.T) {
 	for _, k := range keys {
 		h := fnv.New32a()
 		h.Write([]byte(k))
-		if want := h.Sum32(); hashKey(k) != want {
-			t.Errorf("hashKey(%q) = %d, want %d", k, hashKey(k), want)
+		if want := h.Sum32(); hashKey([]byte(k)) != want {
+			t.Errorf("hashKey(%q) = %d, want %d", k, hashKey([]byte(k)), want)
 		}
 	}
 }
 
 // TestKeyBytesMinimum covers the KeyBytes floor.
 func TestKeyBytesMinimum(t *testing.T) {
-	if KeyBytes("") != 2 || KeyBytes("a") != 2 || KeyBytes("abc") != 3 {
-		t.Errorf("KeyBytes floor wrong: %d %d %d", KeyBytes(""), KeyBytes("a"), KeyBytes("abc"))
+	if KeyBytes(nil) != 2 || KeyBytes([]byte("a")) != 2 || KeyBytes([]byte("abc")) != 3 {
+		t.Errorf("KeyBytes floor wrong: %d %d %d",
+			KeyBytes(nil), KeyBytes([]byte("a")), KeyBytes([]byte("abc")))
 	}
 }

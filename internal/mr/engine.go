@@ -19,12 +19,16 @@ import (
 // net time; host concurrency only shortens wall-clock time).
 //
 // The per-record hot path is allocation-lean by design: record sizes are
-// computed once at emit time, shuffle keys are hashed with an inlined
-// FNV-1a (no hasher object), shuffle partitions are built with counted
-// two-pass placement into one backing array per task, and reduce-side
-// grouping is sort-based (see group.go). None of this changes what the
-// engine computes — outputs and stats are bit-for-bit identical at every
-// parallelism setting and to the earlier hash-grouping engine.
+// computed once at emit time, shuffle keys are byte slices carved from a
+// grow-only per-map-task arena (a map task performs zero per-record key
+// allocations), keys are hashed with an inlined FNV-1a (no hasher
+// object), shuffle partitions are built with counted two-pass placement
+// into one backing array per task, reduce-side grouping is sort-based
+// with an MSD radix sort on the key bytes (see group.go and radix.go),
+// and job outputs merge through a counted, pre-sized parallel merge
+// (relation.Merge). None of this changes what the engine computes —
+// outputs and stats are bit-for-bit identical at every parallelism
+// setting and to the earlier string-keyed, hash-grouping engine.
 type Engine struct {
 	Cost        cost.Config
 	Parallelism int // worker goroutines per phase; 0 = GOMAXPROCS
@@ -57,6 +61,45 @@ func (e *Engine) jobWorkers() int {
 type mapTaskResult struct {
 	records []record
 	bytes   int64 // modelled record bytes (keys + payloads)
+}
+
+// keyArena is the grow-only byte arena holding one map task's shuffle
+// keys. Emitted keys are copied into the current chunk and referenced as
+// sub-slices; when a chunk fills, a fresh one is started and the full
+// chunk stays alive through the records that point into it. Emitting a
+// record therefore allocates nothing per key — only one chunk per
+// ~keyArenaChunk bytes of key data.
+type keyArena struct {
+	buf []byte // current chunk; len grows monotonically within a chunk
+}
+
+const keyArenaChunk = 1 << 16
+
+// hold copies key into the arena and returns the arena-backed copy,
+// capped so later appends cannot clobber neighbouring keys.
+func (a *keyArena) hold(key []byte) []byte {
+	if len(a.buf)+len(key) > cap(a.buf) {
+		n := keyArenaChunk
+		if len(key) > n {
+			n = len(key)
+		}
+		a.buf = make([]byte, 0, n)
+	}
+	start := len(a.buf)
+	a.buf = append(a.buf, key...)
+	return a.buf[start:len(a.buf):len(a.buf)]
+}
+
+// emitInto builds the engine's map-task emit function: the key is copied
+// into the task arena (the Emit key-ownership contract) and the record's
+// modelled size is computed once. Factored out of RunJob so the
+// zero-allocation guarantee is testable on the exact production path
+// (TestEmitPathZeroKeyAllocs).
+func emitInto(arena *keyArena, recs *[]record) Emit {
+	return func(key []byte, msg Message) {
+		k := arena.hold(key)
+		*recs = append(*recs, record{key: k, msg: msg, size: KeyBytes(k) + msg.SizeBytes()})
+	}
 }
 
 // RunJob executes the job against db and returns its output relations
@@ -119,9 +162,8 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 			capHint = int(est*int64(n)/1024) + 8
 		}
 		recs := make([]record, 0, capHint)
-		emit := func(key string, msg Message) {
-			recs = append(recs, record{key: key, msg: msg, size: KeyBytes(key) + msg.SizeBytes()})
-		}
+		var arena keyArena
+		emit := emitInto(&arena, &recs)
 		for i := ts.from; i < ts.to; i++ {
 			job.Mapper.Map(ts.input, i, ts.rel.Tuple(i), emit)
 		}
@@ -198,8 +240,8 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 			loads: make([]int64, reducers),
 		}
 		if len(recs) > 0 {
-			target := make([]int32, len(recs))
-			counts := make([]int32, reducers)
+			tc := make([]int32, len(recs)+reducers) // targets and counts, one allocation
+			target, counts := tc[:len(recs)], tc[len(recs):]
 			for i, r := range recs {
 				p := int32(hashKey(r.key) % uint32(reducers))
 				target[i] = p
@@ -248,11 +290,20 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 	}
 
 	// ---- Reduce phase: sort each partition by key, walk key runs ----
+	// When there are fewer reduce partitions than phase workers, the
+	// spare workers parallelize each partition's key sort (the top radix
+	// level fans out across them); the sorted order — and everything
+	// downstream — is identical either way.
+	sortWorkers := 1
+	if w := e.workers(); w > reducers {
+		sortWorkers = w / reducers
+	}
 	outs := make([]*Output, reducers)
 	if err := parallelFor(e.workers(), reducers, func(ri int) error {
 		out := newOutput(job.Outputs)
 		outs[ri] = out
-		forEachGroup(partitions[ri], func(key string, msgs []Message) {
+		part := partitions[ri]
+		forEachGroupIdx(part, sortIndexByKey(part, sortWorkers), func(key []byte, msgs []Message) {
 			job.Reducer.Reduce(key, msgs, out)
 		})
 		return nil
@@ -261,16 +312,21 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 	}
 
 	// ---- Merge outputs deterministically, compute K ----
+	// Reduce-task outputs are unioned in reducer index order with
+	// first-occurrence dedup — bit-for-bit the order a serial
+	// Relation.Add loop would produce — by relation.Merge, which counts,
+	// pre-sizes and parallelizes the union so the job epilogue is no
+	// longer a serial per-tuple map walk.
 	outDB := relation.NewDatabase()
+	srcs := make([]*relation.Relation, 0, len(outs))
 	for _, name := range outputOrder(job.Outputs) {
-		merged := relation.New(name, job.Outputs[name])
+		srcs = srcs[:0]
 		for _, o := range outs {
 			if r := o.rels[name]; r != nil {
-				for _, t := range r.Tuples() {
-					merged.Add(t)
-				}
+				srcs = append(srcs, r)
 			}
 		}
+		merged := relation.Merge(name, job.Outputs[name], srcs, e.workers())
 		outDB.Put(merged)
 		stats.OutputMB += mbOf(merged.Bytes())
 	}
@@ -288,11 +344,11 @@ func outputOrder(outputs map[string]int) []string {
 }
 
 // hashKey is FNV-1a over the key bytes, inlined so hashing a record
-// costs no hasher object and no string→[]byte copy. It is bit-identical
-// to hash/fnv's New32a, which earlier engine versions used: shuffle
-// partition assignments — and therefore per-reducer loads — are
-// unchanged.
-func hashKey(key string) uint32 {
+// costs no hasher object. It is bit-identical to hash/fnv's New32a over
+// the same bytes, which earlier engine versions used (first via a hasher
+// object, then inlined over string keys): shuffle partition assignments
+// — and therefore per-reducer loads — are unchanged.
+func hashKey(key []byte) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -383,7 +439,7 @@ func (e *Engine) Sample(job *Job, db *relation.Database) ([]PartStats, error) {
 	parts := make([]PartStats, 0, len(job.Inputs))
 	var records int64
 	var bytes int64
-	emit := func(key string, msg Message) {
+	emit := func(key []byte, msg Message) {
 		records++
 		bytes += KeyBytes(key) + msg.SizeBytes()
 	}

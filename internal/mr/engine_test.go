@@ -43,12 +43,12 @@ func semijoinJob(packing bool) *Job {
 			var kb [12]byte
 			switch input {
 			case "R":
-				emit(string(t[1].AppendKey(kb[:0])), intMsg(int64(id)+1000))
+				emit(t[1].AppendKey(kb[:0]), intMsg(int64(id)+1000))
 			case "S":
-				emit(string(t[0].AppendKey(kb[:0])), intMsg(-1))
+				emit(t[0].AppendKey(kb[:0]), intMsg(-1))
 			}
 		}),
-		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
+		Reducer: ReducerFunc(func(key []byte, msgs []Message, out *Output) {
 			hasAssert := false
 			for _, m := range msgs {
 				if m.(intMsg) == -1 {
@@ -212,9 +212,9 @@ func TestUndeclaredOutputPanics(t *testing.T) {
 		Inputs:  []string{"R"},
 		Outputs: map[string]int{"Z": 1},
 		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
-			emit("k", intMsg(1))
+			emit([]byte("k"), intMsg(1))
 		}),
-		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
+		Reducer: ReducerFunc(func(key []byte, msgs []Message, out *Output) {
 			out.Add("Undeclared", tup(1))
 		}),
 	}
@@ -297,7 +297,7 @@ func TestSamplePerInputIsolation(t *testing.T) {
 	if parts[1].Records != 3 {
 		t.Errorf("S records = %d, want 3 (counter leaked across inputs?)", parts[1].Records)
 	}
-	wantMB := float64(3*(KeyBytes(tup(0).Key())+8)) / MB
+	wantMB := float64(3*(KeyBytes([]byte(tup(0).Key()))+8)) / MB
 	if parts[1].InterMB != wantMB {
 		t.Errorf("S InterMB = %v, want %v", parts[1].InterMB, wantMB)
 	}
@@ -310,10 +310,11 @@ func TestProgramDepsAndRounds(t *testing.T) {
 		Inputs:  []string{"Z"},
 		Outputs: map[string]int{"W": 2},
 		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
-			emit(t.Key(), intMsg(int64(id)))
+			var kb [32]byte
+			emit(t.AppendKey(kb[:0]), intMsg(int64(id)))
 		}),
-		Reducer: ReducerFunc(func(key string, msgs []Message, out *Output) {
-			out.Add("W", relation.TupleFromKey(key))
+		Reducer: ReducerFunc(func(key []byte, msgs []Message, out *Output) {
+			out.Add("W", relation.TupleFromKeyBytes(key))
 		}),
 	}
 	p := &Program{Jobs: []*Job{j1, j2}}

@@ -2,7 +2,6 @@ package mr
 
 import (
 	"slices"
-	"strings"
 )
 
 // record is one map-output record: a key, a (possibly packed) message,
@@ -11,13 +10,17 @@ import (
 // per-part byte accounting, shuffle load measurement — sum a plain field
 // instead of re-walking messages through the Message interface.
 //
+// The key is a byte slice carved from the map task's keyArena (see
+// emitInto): emitting a record never allocates a key, and the arena
+// chunks stay alive exactly as long as records reference them.
+//
 // A record produced by packRecords carries its same-key message run in
 // packed rather than msg: keeping the run as a plain slice (sliced from
 // a per-task arena) saves both the interface box a Packed message would
 // cost and the per-key slice allocation. Mappers can still emit a Packed
 // message themselves; both forms flatten identically at reduce time.
 type record struct {
-	key    string
+	key    []byte
 	msg    Message   // single message; nil when packed is set
 	packed []Message // packed same-key run (engine-internal transport)
 	size   int64
@@ -26,55 +29,57 @@ type record struct {
 // keyRef pairs a record index with the first eight bytes of its key,
 // packed big-endian so uint64 order equals lexicographic order. Sorting
 // keyRefs instead of records keeps the sort's data moves small and makes
-// most comparisons a register compare instead of a string compare
-// through a pointer.
+// most comparisons (and every radix pass) operate on a register instead
+// of the key bytes through a pointer.
 type keyRef struct {
 	prefix uint64
 	idx    int32
 }
 
-// keyPrefix packs up to the first eight bytes of s big-endian,
+// keyPrefix packs up to the first eight bytes of key big-endian,
 // zero-padded on the right.
-func keyPrefix(s string) uint64 {
-	n := len(s)
+func keyPrefix(key []byte) uint64 {
+	n := len(key)
 	if n > 8 {
 		n = 8
 	}
 	var p uint64
 	for i := 0; i < n; i++ {
-		p |= uint64(s[i]) << (56 - 8*uint(i))
+		p |= uint64(key[i]) << (56 - 8*uint(i))
 	}
 	return p
 }
 
 // sortIndexByKey returns record indices ordered so that walking them
-// visits keys in ascending order and, within one key, records in arrival
-// order. The sort is unstable by key (pdqsort's equal-element handling
-// collapses the long duplicate-key runs a shuffle partition is made of);
+// visits keys in ascending byte order and, within one key, records in
+// arrival order. Large inputs are sorted by an MSD radix sort over the
+// key bytes, parallelized across up to `workers` goroutines at the top
+// radix level; small inputs (and small radix buckets) fall back to a
+// comparison sort on the packed key prefix (see radix.go). Both paths
+// produce the same total key order — plain lexicographic byte order —
+// and both are unstable within one key (duplicate-key runs collapse);
 // arrival order within each run is restored afterwards with a cheap
-// integer sort by the callers. Comparisons resolve on the packed key
-// prefix whenever they can: equal prefixes with both keys within eight
-// bytes order by length (the shorter key is a zero-padded prefix of the
-// longer), and only longer keys fall back to a full string compare.
-func sortIndexByKey(recs []record) []int32 {
-	refs := make([]keyRef, len(recs))
+// integer sort by the callers.
+func sortIndexByKey(recs []record, workers int) []int32 {
+	n := len(recs)
+	size := n
+	if n >= radixMinLen {
+		size = 2 * n // refs plus the radix scatter scratch, one allocation
+	}
+	buf := make([]keyRef, size)
+	refs := buf[:n]
 	for i := range recs {
 		refs[i] = keyRef{prefix: keyPrefix(recs[i].key), idx: int32(i)}
 	}
-	slices.SortFunc(refs, func(a, b keyRef) int {
-		if a.prefix != b.prefix {
-			if a.prefix < b.prefix {
-				return -1
-			}
-			return 1
-		}
-		ka, kb := recs[a.idx].key, recs[b.idx].key
-		if len(ka) <= 8 && len(kb) <= 8 {
-			return len(ka) - len(kb)
-		}
-		return strings.Compare(ka, kb)
-	})
-	idx := make([]int32, len(refs))
+	switch {
+	case n < radixMinLen:
+		sortRefs(recs, refs)
+	case workers > 1:
+		msdRadixParallel(recs, refs, buf[n:], workers)
+	default:
+		msdRadix(recs, refs, buf[n:], 0)
+	}
+	idx := make([]int32, n)
 	for i, r := range refs {
 		idx[i] = r.idx
 	}
@@ -85,26 +90,41 @@ func sortIndexByKey(recs []record) []int32 {
 func runEnd(recs []record, idx []int32, i int) int {
 	key := recs[idx[i]].key
 	j := i + 1
-	for j < len(idx) && recs[idx[j]].key == key {
+	for j < len(idx) && string(recs[idx[j]].key) == string(key) {
 		j++
 	}
 	return j
 }
 
 // forEachGroup groups one reduce partition's records by key and calls fn
-// once per distinct key, in ascending key order, with the key's messages
-// in arrival order (Packed messages flattened). This is the sort-based
-// replacement for hash grouping: a sorted index is walked as key runs,
-// so grouping a whole partition allocates one index array and one
-// message buffer rather than a map entry and slice per key. The message
-// buffer is reused across calls — fn must not retain msgs after it
-// returns (the engine's Reducer contract, see Reducer).
-func forEachGroup(recs []record, fn func(key string, msgs []Message)) {
+// once per distinct key; it is forEachGroupIdx over a freshly computed
+// serial sort index (the engine sorts up front so partition sorts can
+// share the phase's worker budget).
+func forEachGroup(recs []record, fn func(key []byte, msgs []Message)) {
 	if len(recs) == 0 {
 		return
 	}
-	idx := sortIndexByKey(recs)
-	var msgs []Message
+	forEachGroupIdx(recs, sortIndexByKey(recs, 1), fn)
+}
+
+// forEachGroupIdx walks a sorted index (from sortIndexByKey) as key runs
+// and calls fn once per distinct key, in ascending key order, with the
+// key's messages in arrival order (Packed messages flattened). This is
+// the sort-based replacement for hash grouping: grouping a whole
+// partition allocates one index array and one message buffer rather
+// than a map entry and slice per key. The message buffer is reused
+// across calls — fn must not retain msgs after it returns (the engine's
+// Reducer contract, see Reducer).
+func forEachGroupIdx(recs []record, idx []int32, fn func(key []byte, msgs []Message)) {
+	// Pre-size the shared message buffer: one key's flattened run is
+	// almost always within the partition's record count (packed runs can
+	// exceed it and grow the buffer; the cap bounds the upfront cost on
+	// huge partitions with small groups).
+	presize := len(idx)
+	if presize > 4096 {
+		presize = 4096
+	}
+	msgs := make([]Message, 0, presize)
 	for i := 0; i < len(idx); {
 		j := runEnd(recs, idx, i)
 		run := idx[i:j]
@@ -148,7 +168,7 @@ func packRecords(recs []record) []record {
 	if len(recs) == 0 {
 		return recs
 	}
-	idx := sortIndexByKey(recs)
+	idx := sortIndexByKey(recs, 1)
 	out := make([]record, 0, len(recs))
 	// One message arena per task: every packed run is a sub-slice, so
 	// packing costs two allocations per map task however many keys the

@@ -10,39 +10,42 @@ import (
 // mkrec builds a record the way the engine's emit does, with the size
 // computed up front.
 func mkrec(key string, msg Message) record {
-	return record{key: key, msg: msg, size: KeyBytes(key) + msg.SizeBytes()}
+	k := []byte(key)
+	return record{key: k, msg: msg, size: KeyBytes(k) + msg.SizeBytes()}
 }
 
 // refGroup is the engine's pre-sort-based reduce grouping (hash map +
 // sorted key list), kept as the oracle the sort-based grouping must
-// reproduce byte for byte.
-func refGroup(recs []record, fn func(key string, msgs []Message)) {
+// reproduce byte for byte. It works on string keys — the engine's
+// original key representation — so it also serves as the string-keyed
+// oracle for the byte-slice key differential tests in radix_test.go.
+func refGroup(recs []record, fn func(key []byte, msgs []Message)) {
 	groups := make(map[string][]Message)
 	var keys []string
 	for _, r := range recs {
-		msgs, seen := groups[r.key]
+		msgs, seen := groups[string(r.key)]
 		if !seen {
-			keys = append(keys, r.key)
+			keys = append(keys, string(r.key))
 		}
 		if packed, ok := r.msg.(Packed); ok {
 			msgs = append(msgs, packed.Msgs...)
 		} else {
 			msgs = append(msgs, r.msg)
 		}
-		groups[r.key] = msgs
+		groups[string(r.key)] = msgs
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fn(k, groups[k])
+		fn([]byte(k), groups[k])
 	}
 }
 
 // groupTrace renders a grouping pass as one string: key, then each
 // message in delivery order. Comparing traces compares key order, group
 // boundaries and message order at once.
-func groupTrace(group func([]record, func(string, []Message)), recs []record) string {
+func groupTrace(group func([]record, func([]byte, []Message)), recs []record) string {
 	var out string
-	group(recs, func(key string, msgs []Message) {
+	group(recs, func(key []byte, msgs []Message) {
 		out += fmt.Sprintf("%q:", key)
 		for _, m := range msgs {
 			out += fmt.Sprintf("%v,", m)
@@ -54,8 +57,8 @@ func groupTrace(group func([]record, func(string, []Message)), recs []record) st
 
 func TestForEachGroupEmptyPartition(t *testing.T) {
 	called := false
-	forEachGroup(nil, func(string, []Message) { called = true })
-	forEachGroup([]record{}, func(string, []Message) { called = true })
+	forEachGroup(nil, func([]byte, []Message) { called = true })
+	forEachGroup([]record{}, func([]byte, []Message) { called = true })
 	if called {
 		t.Error("forEachGroup called fn on an empty partition")
 	}
@@ -126,10 +129,10 @@ func refPack(recs []record) []record {
 	groups := make(map[string][]Message, len(recs))
 	var order []string
 	for _, r := range recs {
-		if _, seen := groups[r.key]; !seen {
-			order = append(order, r.key)
+		if _, seen := groups[string(r.key)]; !seen {
+			order = append(order, string(r.key))
 		}
-		groups[r.key] = append(groups[r.key], r.msg)
+		groups[string(r.key)] = append(groups[string(r.key)], r.msg)
 	}
 	out := make([]record, 0, len(order))
 	for _, k := range order {
@@ -212,7 +215,7 @@ func TestPackRecordsEmptyAndSingle(t *testing.T) {
 	}
 	one := []record{mkrec("k", intMsg(1))}
 	out := packRecords(append([]record(nil), one...))
-	if len(out) != 1 || out[0].key != "k" || out[0].msg.(intMsg) != 1 {
+	if len(out) != 1 || string(out[0].key) != "k" || out[0].msg.(intMsg) != 1 {
 		t.Errorf("packRecords(single) = %+v", out)
 	}
 	if out[0].packed != nil {

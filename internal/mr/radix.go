@@ -1,0 +1,158 @@
+package mr
+
+import (
+	"bytes"
+	"slices"
+)
+
+// MSD radix sort over shuffle-key bytes, used by sortIndexByKey for
+// large partitions. Shuffle keys are short byte-encoded tuples with
+// heavy duplication — exactly the shape where a byte-histogram radix
+// pass beats comparison sorting: one pass buckets the whole partition by
+// its leading key byte, long duplicate-key runs collapse into single
+// buckets after a few levels, and the top-level pass parallelizes
+// cleanly across phase workers.
+//
+// Both the radix path and the comparison fallback realize the same total
+// order — plain lexicographic byte order on keys. The comparison
+// fallback resolves on the packed 8-byte key prefix whenever it can:
+// unequal prefixes order as uint64s (big-endian packing makes that
+// lexicographic), equal prefixes with both keys within eight bytes order
+// by length (the shorter key is a zero-padded prefix of the longer), and
+// only longer keys fall back to a full byte compare. The radix path
+// buckets on one prefix byte per level and finishes every small or
+// prefix-exhausted bucket with the same comparison fallback, so the two
+// paths are interchangeable (pinned by TestRadixMatchesComparisonSort).
+const (
+	// radixMinLen is the whole-partition cutoff below which
+	// sortIndexByKey uses the comparison sort outright.
+	radixMinLen = 512
+	// radixBucketCutoff is the bucket size below which a radix level
+	// hands off to the comparison sort.
+	radixBucketCutoff = 96
+)
+
+// cmpRef compares two keyRefs in lexicographic key-byte order, prefix
+// first.
+func cmpRef(recs []record, a, b keyRef) int {
+	if a.prefix != b.prefix {
+		if a.prefix < b.prefix {
+			return -1
+		}
+		return 1
+	}
+	ka, kb := recs[a.idx].key, recs[b.idx].key
+	if len(ka) <= 8 && len(kb) <= 8 {
+		return len(ka) - len(kb)
+	}
+	return bytes.Compare(ka, kb)
+}
+
+// sortRefs is the comparison sort over refs (pdqsort; its equal-element
+// handling collapses the long duplicate-key runs a shuffle partition is
+// made of).
+func sortRefs(recs []record, refs []keyRef) {
+	slices.SortFunc(refs, func(a, b keyRef) int { return cmpRef(recs, a, b) })
+}
+
+// msdRadix sorts refs in place by the key-prefix byte at the given level
+// (0–7, most significant first), recursing into each bucket. tmp is
+// scratch of the same length as refs. Buckets below radixBucketCutoff —
+// and buckets whose 8-byte prefix is exhausted at level 8, where only
+// same-prefix stragglers longer than eight bytes remain — finish with
+// the comparison sort.
+func msdRadix(recs []record, refs, tmp []keyRef, level int) {
+	if len(refs) < radixBucketCutoff || level == 8 {
+		sortRefs(recs, refs)
+		return
+	}
+	shift := uint(56 - 8*level)
+	var counts [256]int
+	for _, r := range refs {
+		counts[byte(r.prefix>>shift)]++
+	}
+	var offs [257]int
+	for b := 0; b < 256; b++ {
+		offs[b+1] = offs[b] + counts[b]
+	}
+	pos := offs
+	for _, r := range refs {
+		b := byte(r.prefix >> shift)
+		tmp[pos[b]] = r
+		pos[b]++
+	}
+	copy(refs, tmp)
+	for b := 0; b < 256; b++ {
+		lo, hi := offs[b], offs[b+1]
+		if hi-lo > 1 {
+			msdRadix(recs, refs[lo:hi], tmp[lo:hi], level+1)
+		}
+	}
+}
+
+// msdRadixParallel is msdRadix with the top level fanned out across up
+// to `workers` goroutines: per-chunk histograms, a deterministic
+// partitioned scatter (chunk c's share of bucket b lands at a
+// precomputed offset, so the layout is independent of goroutine
+// scheduling), then one goroutine per non-trivial bucket for the
+// remaining levels. tmp is scratch of the same length as refs.
+func msdRadixParallel(recs []record, refs, tmp []keyRef, workers int) {
+	n := len(refs)
+	nchunks := workers
+	if nchunks > n {
+		nchunks = n
+	}
+	chunk := (n + nchunks - 1) / nchunks
+	// Rounding chunk up can make trailing chunks empty (workers² > n);
+	// drop them so every chunk's lower bound stays inside refs.
+	nchunks = (n + chunk - 1) / chunk
+	bounds := func(c int) (int, int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	hist := make([][256]int, nchunks)
+	parallelFor(workers, nchunks, func(c int) error {
+		lo, hi := bounds(c)
+		h := &hist[c]
+		for _, r := range refs[lo:hi] {
+			h[byte(r.prefix>>56)]++
+		}
+		return nil
+	})
+	var bucketLo [257]int
+	starts := make([][256]int, nchunks)
+	off := 0
+	for b := 0; b < 256; b++ {
+		bucketLo[b] = off
+		for c := 0; c < nchunks; c++ {
+			starts[c][b] = off
+			off += hist[c][b]
+		}
+	}
+	bucketLo[256] = off
+	parallelFor(workers, nchunks, func(c int) error {
+		lo, hi := bounds(c)
+		pos := &starts[c]
+		for _, r := range refs[lo:hi] {
+			b := byte(r.prefix >> 56)
+			tmp[pos[b]] = r
+			pos[b]++
+		}
+		return nil
+	})
+	parallelFor(workers, 256, func(b int) error {
+		lo, hi := bucketLo[b], bucketLo[b+1]
+		if lo == hi {
+			return nil
+		}
+		copy(refs[lo:hi], tmp[lo:hi])
+		if hi-lo > 1 {
+			msdRadix(recs, refs[lo:hi], tmp[lo:hi], 1)
+		}
+		return nil
+	})
+}

@@ -20,10 +20,11 @@ func identityJob(name, in, out string, arity int) *Job {
 		Inputs:  []string{in},
 		Outputs: map[string]int{out: arity},
 		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
-			emit(t.Key(), intMsg(int64(id)))
+			var kb [32]byte
+			emit(t.AppendKey(kb[:0]), intMsg(int64(id)))
 		}),
-		Reducer: ReducerFunc(func(key string, msgs []Message, o *Output) {
-			o.Add(out, relation.TupleFromKey(key))
+		Reducer: ReducerFunc(func(key []byte, msgs []Message, o *Output) {
+			o.Add(out, relation.TupleFromKeyBytes(key))
 		}),
 	}
 }
@@ -35,10 +36,11 @@ func unionJob(name string, ins []string, out string, arity int) *Job {
 		Inputs:  ins,
 		Outputs: map[string]int{out: arity},
 		Mapper: MapperFunc(func(input string, id int, t relation.Tuple, emit Emit) {
-			emit(t.Key(), intMsg(int64(id)))
+			var kb [32]byte
+			emit(t.AppendKey(kb[:0]), intMsg(int64(id)))
 		}),
-		Reducer: ReducerFunc(func(key string, msgs []Message, o *Output) {
-			o.Add(out, relation.TupleFromKey(key))
+		Reducer: ReducerFunc(func(key []byte, msgs []Message, o *Output) {
+			o.Add(out, relation.TupleFromKeyBytes(key))
 		}),
 	}
 }

@@ -47,8 +47,17 @@ func (p Packed) SizeBytes() int64 {
 	return n
 }
 
-// Emit is the map-side output function: key → message.
-type Emit func(key string, msg Message)
+// Emit is the map-side output function: key → message. Keys are byte
+// slices so mappers can build them in a reused stack buffer (see
+// Tuple.AppendKey / sgf.Projector.AppendKey) without converting to a
+// string per record.
+//
+// Key ownership: the key is engine-owned after emit — the engine copies
+// it into a per-map-task arena before Emit returns, so the mapper may
+// (and should) reuse its key buffer for the next record. msg, by
+// contrast, is retained by reference and must be immutable after
+// emission (see Message).
+type Emit func(key []byte, msg Message)
 
 // Mapper processes one input fact. The same Mapper instance is used
 // concurrently by multiple map tasks and must be stateless or internally
@@ -67,19 +76,21 @@ func (f MapperFunc) Map(input string, id int, t relation.Tuple, emit Emit) { f(i
 // key of a reduce partition, in ascending key order, with the key's
 // messages in arrival order; Packed messages are transparently unpacked
 // before Reduce is called. The same Reducer instance is used
-// concurrently by multiple reduce tasks. The msgs slice is owned by the
-// engine and reused across keys: implementations may retain individual
-// messages (messages are immutable after emission) but must not retain
-// the slice itself after Reduce returns.
+// concurrently by multiple reduce tasks. Both key and msgs are owned by
+// the engine: the msgs slice is reused across keys and the key bytes
+// live in an engine arena, so implementations must not mutate the key
+// or retain either slice after Reduce returns (copy the key if needed;
+// individual messages are immutable after emission and may be
+// retained).
 type Reducer interface {
-	Reduce(key string, msgs []Message, out *Output)
+	Reduce(key []byte, msgs []Message, out *Output)
 }
 
 // ReducerFunc adapts a function to the Reducer interface.
-type ReducerFunc func(key string, msgs []Message, out *Output)
+type ReducerFunc func(key []byte, msgs []Message, out *Output)
 
 // Reduce implements Reducer.
-func (f ReducerFunc) Reduce(key string, msgs []Message, out *Output) { f(key, msgs, out) }
+func (f ReducerFunc) Reduce(key []byte, msgs []Message, out *Output) { f(key, msgs, out) }
 
 // Output collects reducer output facts into named relations. One Output
 // is private to each reduce task; task outputs are merged in task order
@@ -156,7 +167,7 @@ type Job struct {
 // cost model charges the same 10 bytes/field the relations use, which we
 // approximate by the actual encoded key length rounded up to at least
 // 2 bytes.
-func KeyBytes(key string) int64 {
+func KeyBytes(key []byte) int64 {
 	n := int64(len(key))
 	if n < 2 {
 		n = 2

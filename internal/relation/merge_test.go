@@ -1,0 +1,169 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refMerge is the serial merge Merge must reproduce bit for bit: every
+// source's tuples added in order to a fresh relation (the MR engine's
+// pre-parallel job epilogue).
+func refMerge(name string, arity int, srcs []*Relation) *Relation {
+	out := New(name, arity)
+	for _, s := range srcs {
+		if s == nil {
+			continue
+		}
+		for _, t := range s.Tuples() {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// sameOrdered compares name, arity, and exact tuple iteration order.
+func sameOrdered(a, b *Relation) error {
+	if a.Name() != b.Name() || a.Arity() != b.Arity() {
+		return fmt.Errorf("header %s/%d vs %s/%d", a.Name(), a.Arity(), b.Name(), b.Arity())
+	}
+	if a.Size() != b.Size() {
+		return fmt.Errorf("size %d vs %d", a.Size(), b.Size())
+	}
+	for i := 0; i < a.Size(); i++ {
+		if !a.Tuple(i).Equal(b.Tuple(i)) {
+			return fmt.Errorf("tuple %d: %v vs %v", i, a.Tuple(i), b.Tuple(i))
+		}
+	}
+	return nil
+}
+
+// TestMergeMatchesSerialAdd drives Merge over randomized source sets —
+// overlapping tuple sets, empty and nil sources, skewed sizes — at
+// several worker counts and requires the exact tuple order and index
+// behaviour of the serial Add loop.
+func TestMergeMatchesSerialAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		nsrc := rng.Intn(7)
+		srcs := make([]*Relation, nsrc)
+		universe := rng.Intn(300) + 1
+		for i := range srcs {
+			switch rng.Intn(8) {
+			case 0:
+				srcs[i] = nil
+				continue
+			case 1:
+				srcs[i] = New("part", 2) // empty
+				continue
+			}
+			r := New("part", 2)
+			n := rng.Intn(400)
+			for j := 0; j < n; j++ {
+				v := int64(rng.Intn(universe))
+				r.Add(Tuple{Value(v), Value(v % 17)})
+			}
+			srcs[i] = r
+		}
+		want := refMerge("Z", 2, srcs)
+		for _, workers := range []int{0, 1, 2, 8} {
+			got := Merge("Z", 2, srcs, workers)
+			if err := sameOrdered(got, want); err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			// The index must agree too: membership and positions.
+			for i := 0; i < want.Size(); i++ {
+				if !got.Contains(want.Tuple(i)) {
+					t.Fatalf("trial %d workers %d: merged relation lost %v", trial, workers, want.Tuple(i))
+				}
+			}
+		}
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if m := Merge("Z", 3, nil, 4); m.Size() != 0 || m.Arity() != 3 || m.Name() != "Z" {
+		t.Errorf("empty merge = %s", m)
+	}
+	src := FromTuples("part", 1, []Tuple{{Value(1)}, {Value(2)}})
+	m := Merge("Z", 1, []*Relation{nil, New("e", 1), src}, 4)
+	if m.Name() != "Z" || m.Size() != 2 || !m.Tuple(0).Equal(src.Tuple(0)) {
+		t.Errorf("single-source merge = %s", m)
+	}
+	// Adding to the merged relation must not be visible through src's
+	// name change only — storage sharing is allowed, divergence is not
+	// required; this just pins that the rename fast path keeps contents.
+	if !m.Equal(src) {
+		t.Error("single-source merge diverged from its source")
+	}
+}
+
+func TestMergeArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	Merge("Z", 2, []*Relation{FromTuples("p", 1, []Tuple{{Value(1)}})}, 1)
+}
+
+func TestClonePresizedAndDeep(t *testing.T) {
+	r := New("R", 2)
+	for i := int64(0); i < 100; i++ {
+		r.Add(Tuple{Value(i), Value(i % 7)})
+	}
+	c := r.Clone()
+	if !c.Equal(r) || c.Name() != r.Name() || c.Arity() != r.Arity() {
+		t.Fatal("clone differs")
+	}
+	for i := 0; i < r.Size(); i++ {
+		if !c.Tuple(i).Equal(r.Tuple(i)) {
+			t.Fatalf("clone order differs at %d", i)
+		}
+	}
+	// Deep: mutating an original tuple's values must not leak into the
+	// clone, and growing the clone must not touch the original.
+	r.Tuple(0)[0] = Value(999)
+	if c.Tuple(0)[0] == Value(999) {
+		t.Error("clone shares tuple storage")
+	}
+	c.Add(Tuple{Value(-1), Value(-2)})
+	if r.Size() != 100 || c.Size() != 101 {
+		t.Errorf("sizes: orig %d clone %d", r.Size(), c.Size())
+	}
+}
+
+func TestAddAllAndGrow(t *testing.T) {
+	r := New("R", 1)
+	r.Add(Tuple{Value(1)})
+	bulk := []Tuple{{Value(1)}, {Value(2)}, {Value(3)}, {Value(2)}}
+	if added := r.AddAll(bulk); added != 2 {
+		t.Errorf("AddAll added %d, want 2", added)
+	}
+	if r.Size() != 3 || !r.Contains(Tuple{Value(3)}) {
+		t.Errorf("after AddAll: %s", r)
+	}
+	// Grow must be content-neutral and idempotent.
+	r.Grow(1000)
+	r.Grow(0)
+	r.Grow(-5)
+	if r.Size() != 3 || !r.Contains(Tuple{Value(1)}) || r.Contains(Tuple{Value(9)}) {
+		t.Errorf("Grow changed contents: %s", r)
+	}
+	if r.Tuple(0)[0] != Value(1) || r.Tuple(2)[0] != Value(3) {
+		t.Error("Grow changed tuple order")
+	}
+	// Growing then bulk-loading keeps set semantics.
+	if added := r.AddAll([]Tuple{{Value(3)}, {Value(4)}}); added != 1 {
+		t.Errorf("second AddAll added %d, want 1", added)
+	}
+}
+
+func TestAddAllArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	New("R", 2).AddAll([]Tuple{{Value(1)}})
+}

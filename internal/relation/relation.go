@@ -61,23 +61,30 @@ func (r *Relation) Bytes() int64 {
 func (r *Relation) TupleBytes() int64 { return int64(r.arity) * BytesPerField }
 
 // Add inserts t, returning true if it was not already present.
-// It panics if the arity does not match.
+// It panics if the arity does not match. The duplicate check is
+// allocation-free: the key is built in a stack buffer and looked up
+// without a string conversion, so re-adding existing tuples (the common
+// case in reducer outputs with heavy overlap) costs no garbage; only an
+// actual insert materializes the key string.
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation %s: adding tuple of arity %d to relation of arity %d", r.name, len(t), r.arity))
 	}
-	k := t.Key()
-	if _, dup := r.index[k]; dup {
+	var kb [32]byte
+	k := t.AppendKey(kb[:0])
+	if _, dup := r.index[string(k)]; dup { // no-alloc map lookup
 		return false
 	}
-	r.index[k] = len(r.tuples)
+	r.index[string(k)] = len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	return true
 }
 
-// Contains reports whether t is present.
+// Contains reports whether t is present. Like Add's duplicate check it
+// allocates nothing.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.index[t.Key()]
+	var kb [32]byte
+	_, ok := r.index[string(t.AppendKey(kb[:0]))]
 	return ok
 }
 
@@ -95,13 +102,64 @@ func (r *Relation) Each(fn func(id int, t Tuple)) {
 	}
 }
 
-// Clone returns a deep copy of r.
+// Clone returns a deep copy of r. Both the tuple slice and the index
+// map are allocated at their final size up front — cloning never
+// re-grows through incremental Add — and the index is copied entry for
+// entry (positions are identical in a clone) rather than re-encoding
+// every tuple's key.
 func (r *Relation) Clone() *Relation {
-	c := New(r.name, r.arity)
-	for _, t := range r.tuples {
-		c.Add(t.Clone())
+	c := &Relation{
+		name:   r.name,
+		arity:  r.arity,
+		tuples: make([]Tuple, len(r.tuples)),
+		index:  make(map[string]int, len(r.index)),
+	}
+	for i, t := range r.tuples {
+		c.tuples[i] = t.Clone()
+	}
+	for k, pos := range r.index {
+		c.index[k] = pos
 	}
 	return c
+}
+
+// Grow pre-sizes r's internal storage for n additional tuples, so a
+// bulk load of n tuples performs no incremental slice growth and no
+// map rehashing. It never changes the relation's contents. A Go map
+// cannot be grown in place, so the index is rebuilt with the target
+// size hint when the pending bulk dominates the existing entries
+// (copying the existing entries once is cheaper than rehashing them
+// repeatedly during the load).
+func (r *Relation) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(r.tuples)-len(r.tuples) < n {
+		grown := make([]Tuple, len(r.tuples), len(r.tuples)+n)
+		copy(grown, r.tuples)
+		r.tuples = grown
+	}
+	if n > len(r.index) {
+		idx := make(map[string]int, len(r.index)+n)
+		for k, pos := range r.index {
+			idx[k] = pos
+		}
+		r.index = idx
+	}
+}
+
+// AddAll inserts every tuple of ts in order (set semantics, like Add)
+// and returns the number of tuples actually added. Storage is pre-sized
+// once via Grow. It panics if any tuple's arity does not match.
+func (r *Relation) AddAll(ts []Tuple) int {
+	r.Grow(len(ts))
+	added := 0
+	for _, t := range ts {
+		if r.Add(t) {
+			added++
+		}
+	}
+	return added
 }
 
 // Rename returns a shallow view of r under a different name, sharing

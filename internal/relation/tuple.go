@@ -81,10 +81,19 @@ func (t Tuple) Key() string {
 
 // TupleFromKey decodes a key produced by Tuple.Key. It returns nil if the
 // key is malformed.
-func TupleFromKey(key string) Tuple {
+func TupleFromKey(key string) Tuple { return tupleFromKey(key) }
+
+// TupleFromKeyBytes is TupleFromKey over a byte-slice key — the form the
+// MR engine hands reducers — without a string conversion. The key is
+// only read during the call.
+func TupleFromKeyBytes(key []byte) Tuple { return tupleFromKey(key) }
+
+// tupleFromKey decodes a varint-sequence key from either representation
+// without copying it.
+func tupleFromKey[T ~string | ~[]byte](key T) Tuple {
 	var t Tuple
 	for i := 0; i < len(key); {
-		v, n := varintString(key[i:])
+		v, n := varintAt(key, i)
 		if n <= 0 {
 			return nil
 		}
@@ -94,15 +103,15 @@ func TupleFromKey(key string) Tuple {
 	return t
 }
 
-// varintString decodes a signed varint from the head of s, like
-// binary.Varint but over a string: decoding a key never copies it to a
-// byte slice. It returns the value and the number of bytes read (0 for
-// truncated input, negative for overflow).
-func varintString(s string) (int64, int) {
+// varintAt decodes a signed varint starting at offset off of s, like
+// binary.Varint but over a string or byte slice without copying. It
+// returns the value and the number of bytes read (0 for truncated
+// input, negative for overflow).
+func varintAt[T ~string | ~[]byte](s T, off int) (int64, int) {
 	var ux uint64
 	var shift uint
-	for i := 0; i < len(s); i++ {
-		b := s[i]
+	for i := 0; off+i < len(s); i++ {
+		b := s[off+i]
 		if i == binary.MaxVarintLen64 {
 			return 0, -(i + 1) // overflow
 		}

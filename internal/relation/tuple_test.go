@@ -164,32 +164,50 @@ func TestValueAppendKeyMatchesVarint(t *testing.T) {
 	}
 }
 
-func TestVarintStringMatchesBinaryVarint(t *testing.T) {
+func TestVarintAtMatchesBinaryVarint(t *testing.T) {
 	f := func(v int64, trailing []byte) bool {
 		key := string(Value(v).AppendKey(nil)) + string(trailing)
 		want, wantN := binary.Varint([]byte(key))
-		got, gotN := varintString(key)
-		return got == want && gotN == wantN
+		got, gotN := varintAt(key, 0)
+		gotB, gotBN := varintAt([]byte(key), 0)
+		return got == want && gotN == wantN && gotB == want && gotBN == wantN
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestVarintStringMalformed(t *testing.T) {
+func TestVarintAtMalformed(t *testing.T) {
 	// Truncated: continuation bit set but string ends.
-	if _, n := varintString("\xff"); n != 0 {
+	if _, n := varintAt("\xff", 0); n != 0 {
 		t.Errorf("truncated varint: n = %d, want 0", n)
 	}
 	if tp := TupleFromKey("\xff"); tp != nil {
 		t.Errorf("TupleFromKey accepted truncated key: %v", tp)
 	}
+	if tp := TupleFromKeyBytes([]byte("\xff")); tp != nil {
+		t.Errorf("TupleFromKeyBytes accepted truncated key: %v", tp)
+	}
 	// Overflow: 11 continuation bytes exceed MaxVarintLen64.
 	over := strings.Repeat("\x80", 11) + "\x01"
-	if _, n := varintString(over); n >= 0 {
+	if _, n := varintAt(over, 0); n >= 0 {
 		t.Errorf("overflowing varint: n = %d, want negative", n)
 	}
 	if tp := TupleFromKey(over); tp != nil {
 		t.Errorf("TupleFromKey accepted overflowing key: %v", tp)
+	}
+}
+
+func TestTupleFromKeyBytesMatchesString(t *testing.T) {
+	f := func(raw []int64) bool {
+		tp := make(Tuple, len(raw))
+		for i, v := range raw {
+			tp[i] = Value(v)
+		}
+		key := tp.Key()
+		return TupleFromKeyBytes([]byte(key)).Equal(TupleFromKey(key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }

@@ -7,20 +7,25 @@
 #   BENCHTIME=20x scripts/bench.sh     # override -benchtime
 #   BENCH='BenchmarkMSJJob' PKG=. scripts/bench.sh  # other benchmarks/packages
 #
+# The default set covers the engine hot-path micro-benchmarks
+# (./internal/mr/) plus the end-to-end Greedy-BSGF query benchmark at
+# the repo root; PKG may list several packages.
+#
 # The snapshot schema matches BENCH_pr2.json's "before"/"after" entries,
 # so successive snapshots diff cleanly across PRs.
 set -eu
 
 out="${1:-bench_snapshot.json}"
 benchtime="${BENCHTIME:-10x}"
-bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping}"
-pkg="${PKG:-./internal/mr/}"
+bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping|BenchmarkGreedyBSGFQuery}"
+pkg="${PKG:-./internal/mr/ .}"
 
 cd "$(dirname "$0")/.."
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run NONE -bench "$bench" -benchtime "$benchtime" "$pkg" | tee "$tmp"
+# shellcheck disable=SC2086 # PKG is intentionally word-split
+go test -run NONE -bench "$bench" -benchtime "$benchtime" $pkg | tee "$tmp"
 
 {
 	echo '{'
