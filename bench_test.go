@@ -237,8 +237,8 @@ func BenchmarkOneRoundJob(b *testing.B) {
 
 // schedulerWorkload builds k independent subqueries over disjoint
 // relations: Greedy-SGF compiles them into a multi-job plan whose MR
-// dependency graph is k parallel two-job chains, the shape the
-// DAG-parallel program scheduler exploits.
+// dependency graph is k parallel two-job chains, a shape with ample
+// independent work for the task pool.
 func schedulerWorkload(k int, guardTuples int64) (*Query, *Database) {
 	var src strings.Builder
 	db := NewDatabase()
@@ -263,13 +263,13 @@ func schedulerWorkload(k int, guardTuples int64) (*Query, *Database) {
 	return MustParse(src.String()), db
 }
 
-// benchProgramJobs runs a Greedy-SGF plan of independent subqueries with
-// the given job-level host parallelism. Phase workers are pinned to 1 so
-// the pair of benchmarks isolates the program scheduler's contribution
-// to wall-clock time; simulated metrics are identical in both.
-func benchProgramJobs(b *testing.B, concurrentJobs int) {
+// benchProgramPool runs a Greedy-SGF plan of independent subqueries at
+// the given unified-pool width. Compare the two widths for the task
+// scheduler's wall-clock scaling; simulated metrics are identical in
+// both.
+func benchProgramPool(b *testing.B, workers int) {
 	q, db := schedulerWorkload(6, 20000)
-	s := New(WithScale(0.001), WithHostParallelism(1, concurrentJobs))
+	s := New(WithScale(0.001), WithHostWorkers(workers))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Run(q, db, GreedySGF); err != nil {
@@ -278,13 +278,68 @@ func benchProgramJobs(b *testing.B, concurrentJobs int) {
 	}
 }
 
-// BenchmarkProgramJobsSequential runs the plan's jobs one at a time.
-func BenchmarkProgramJobsSequential(b *testing.B) { benchProgramJobs(b, 1) }
+// BenchmarkProgramPoolSequential runs every task on one worker.
+func BenchmarkProgramPoolSequential(b *testing.B) { benchProgramPool(b, 1) }
 
-// BenchmarkProgramJobsDAGParallel runs dependency-independent jobs
-// concurrently (GOMAXPROCS); compare against the Sequential variant for
-// the scheduler's wall-clock speedup.
-func BenchmarkProgramJobsDAGParallel(b *testing.B) { benchProgramJobs(b, 0) }
+// BenchmarkProgramPoolParallel runs the same plan on a GOMAXPROCS-wide
+// pool.
+func BenchmarkProgramPoolParallel(b *testing.B) { benchProgramPool(b, 0) }
+
+// pipelineWorkload builds a deep nested SGF program — a `levels`-long
+// chain where each subquery's guard is the previous subquery's output
+// and each level filters by its own large base conditional relation:
+//
+//	Z1 := SELECT x, y FROM R(x, y) WHERE S1(x);
+//	Zk := SELECT x, y FROM Z(k-1)(x, y) WHERE Sk(x);
+//
+// Under GreedySGF this compiles to a 2·levels-job MR program whose
+// dependency graph is one long chain (MSJ_k → EVAL_k → MSJ_k+1 → ...),
+// the worst case for whole-job barriers: the only work a barriered
+// scheduler can ever overlap is within one job, while the base
+// conditionals S1..Sk — the bulk of the map input — are all readable
+// from the start.
+func pipelineWorkload(levels int, guardTuples int64) (*Query, *Database) {
+	var src strings.Builder
+	db := NewDatabase()
+	g := NewRelation("R", 2)
+	for j := int64(0); j < guardTuples; j++ {
+		g.Add(Tuple{Int(j), Int(j % 997)})
+	}
+	db.Put(g)
+	prev := "R"
+	for k := 1; k <= levels; k++ {
+		fmt.Fprintf(&src, "Z%d := SELECT x, y FROM %s(x, y) WHERE S%d(x);\n", k, prev, k)
+		s := NewRelation(fmt.Sprintf("S%d", k), 1)
+		// ~97% of guard ids survive each level: every level keeps
+		// substantial map/shuffle work while the chain output shrinks.
+		for j := int64(0); j < guardTuples; j++ {
+			if j%32 != int64(k%32) {
+				s.Add(Tuple{Int(j)})
+			}
+		}
+		db.Put(s)
+		prev = fmt.Sprintf("Z%d", k)
+	}
+	return MustParse(src.String()), db
+}
+
+// BenchmarkProgramPipelined measures wall-clock time of a deep-DAG
+// nested program end to end (GreedySGF planning + execution) at full
+// host parallelism. This is the benchmark behind the partition-level
+// pipelined scheduler: a dependent job's map tasks over base relations
+// start while upstream jobs are still reducing, so the chain's job
+// barriers stop costing idle workers. Compare against the same
+// benchmark at the pre-pipelining commit (BENCH_pr5.json records both).
+func BenchmarkProgramPipelined(b *testing.B) {
+	q, db := pipelineWorkload(8, 30000)
+	s := New(WithScale(0.001))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(q, db, GreedySGF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkGreedyBSGFQuery drives the full public pipeline — parse,
 // Greedy-BSGF planning (with sampling), MSJ+EVAL execution, output

@@ -24,11 +24,14 @@ func main() {
 		expList  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		nodes    = flag.Int("nodes", 10, "simulated cluster nodes")
 		verify   = flag.Bool("verify", false, "cross-check outputs against the reference evaluator")
-		workers  = flag.Int("workers", 0, "host goroutines per map/reduce phase (0 = GOMAXPROCS)")
-		jobs     = flag.Int("jobs", 0, "independent plan jobs run concurrently on the host (0 = GOMAXPROCS, 1 = sequential)")
+		workers  = flag.Int("workers", 0, "host worker pool for all engine tasks (0 = GOMAXPROCS, 1 = sequential)")
 		progress = flag.Bool("v", false, "log each run")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
+	// Registered for compatibility; the unified task scheduler has no
+	// separate job level, so the value is unused (a warning is printed
+	// below when the flag is set explicitly).
+	flag.Int("jobs", 0, "deprecated: ignored; use -workers")
 	flag.Parse()
 
 	if *list {
@@ -41,7 +44,11 @@ func main() {
 	cfg := experiments.At(*scale)
 	cfg.Cluster.Nodes = *nodes
 	cfg.HostWorkers = *workers
-	cfg.HostJobs = *jobs
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "jobs" {
+			fmt.Fprintln(os.Stderr, "gumbo-bench: -jobs is deprecated and ignored: the engine runs every task of a plan on one unified worker pool; use -workers (e.g. -workers 1 for host-sequential execution)")
+		}
+	})
 	if *verify {
 		cfg.Verify = true
 	}

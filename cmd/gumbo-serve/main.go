@@ -29,8 +29,8 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "engine worker goroutines per map/shuffle/reduce phase (0 = GOMAXPROCS)")
-		jobs        = flag.Int("jobs", 0, "concurrent jobs per plan and admitted plan executions (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "engine worker pool for all plan tasks (0 = GOMAXPROCS)")
+		jobs        = flag.Int("jobs", 0, "admission capacity: concurrently executing plans (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 128, "plan-cache capacity (entries)")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (negative disables batching)")
 		maxBatch    = flag.Int("max-batch", 16, "flush a micro-batch early at this many queries")

@@ -46,7 +46,7 @@ var concurrencyQueries = []struct {
 // identical to a sequential run of the same query. Run under -race this
 // is the service-layer safety net.
 func TestSystemRunConcurrent(t *testing.T) {
-	sys := gumbo.New(gumbo.WithHostParallelism(2, 2))
+	sys := gumbo.New(gumbo.WithHostWorkers(2))
 	db := concurrencyDB()
 
 	type expect struct {

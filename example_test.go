@@ -22,7 +22,7 @@ func Example_quickstart() {
 	}))
 	db.Put(gumbo.FromTuples("S", 1, []gumbo.Tuple{{gumbo.Int(10)}}))
 
-	sys := gumbo.New(gumbo.WithHostParallelism(0, 0)) // 0 = GOMAXPROCS
+	sys := gumbo.New(gumbo.WithHostWorkers(0)) // 0 = GOMAXPROCS
 	res, err := sys.Run(q, db, gumbo.Greedy)
 	if err != nil {
 		log.Fatal(err)

@@ -8,11 +8,14 @@
 // The package evaluates SGF queries over in-memory relations on an
 // in-process MapReduce engine that measures the byte quantities of the
 // paper's cost model and derives simulated net/total times on a
-// configurable virtual cluster. On the host, the engine runs
-// dependency-independent jobs of a plan concurrently (a DAG-parallel
-// scheduler over the program's producer/consumer edges) in addition to
-// parallelizing the map, shuffle and reduce phases of each job; the
-// WithHostParallelism option bounds both. Results are deterministic at
+// configurable virtual cluster. On the host, a plan executes as one
+// unified task graph: map tasks, shuffle partitions, reduce partitions
+// and output merge shards of all of its jobs are scheduled together on
+// a single work-stealing worker pool, with producer→consumer edges
+// wired per input relation — a dependent job's map tasks over a
+// relation start the moment that relation is merged, overlapping phases
+// of dependent jobs instead of waiting at job barriers. The
+// WithHostWorkers option sizes the pool. Results are deterministic at
 // every parallelism setting. A minimal session:
 //
 //	q, _ := gumbo.Parse(`Z := SELECT x, y FROM R(x, y) WHERE S(x) AND T(y);`)
@@ -106,18 +109,17 @@ func DefaultCostConfig() CostConfig { return cost.Default() }
 // simultaneously. Runs never mutate the database they are given (job
 // outputs land in a fresh Result.Outputs database), and concurrent runs
 // of the same query against the same database produce bit-for-bit
-// identical Results (see WithHostParallelism for the underlying
+// identical Results (see WithHostWorkers for the underlying
 // determinism contract). Callers may load new relations into a Database
 // concurrently with runs — Database is internally locked — but a run
 // that overlaps a load may observe either version of the relation;
 // services that need a stable snapshot should key work off
 // Database.Generation, as internal/server does.
 type System struct {
-	costCfg      cost.Config
-	clusterCfg   cluster.Config
-	phaseWorkers int
-	hostJobs     int
-	runner       *exec.Runner
+	costCfg     cost.Config
+	clusterCfg  cluster.Config
+	hostWorkers int
+	runner      *exec.Runner
 }
 
 // Option configures a System.
@@ -140,26 +142,42 @@ func WithScale(f float64) Option {
 	return func(s *System) { s.costCfg = s.costCfg.Scaled(f) }
 }
 
-// WithHostParallelism bounds the host-side concurrency of the in-process
-// engine: phaseWorkers goroutines per map/shuffle/reduce phase, and up
-// to concurrentJobs dependency-independent jobs of a plan running at a
-// time (the DAG-parallel program scheduler). Zero for either means
-// GOMAXPROCS; 1 forces sequential execution.
+// WithHostWorkers sizes the in-process engine's unified worker pool:
+// every task of a plan — map tasks, shuffle partitions, reduce
+// partitions and output merge shards, across all of the plan's jobs —
+// runs on these `workers` goroutines, scheduled work-stealing at
+// partition granularity (a dependent job's map tasks over a relation
+// start the moment that relation is merged). Zero means GOMAXPROCS;
+// 1 forces strictly sequential execution.
 //
 // Determinism contract: every Result field — output relations including
 // their tuple iteration order, per-job stats, and simulated metrics —
-// is bit-for-bit identical at every setting of both knobs; only host
-// wall-clock time and memory change. The engine guarantees this by
-// partitioning shuffle output in map-task order, reducing keys in
-// sorted order with messages in arrival order, merging job outputs in
-// sorted-name/reducer-index order, and having the DAG scheduler publish
-// finished jobs' outputs before releasing dependents (see
+// is bit-for-bit identical at every pool width; only host wall-clock
+// time and memory change. The engine guarantees this by partitioning
+// shuffle output in map-task order, reducing keys in sorted order with
+// messages in arrival order, merging job outputs in
+// sorted-name/reducer-index order, and publishing each merged relation
+// before releasing the map tasks that read it (see
 // docs/ARCHITECTURE.md, "Determinism contract").
+func WithHostWorkers(workers int) Option {
+	return func(s *System) { s.hostWorkers = workers }
+}
+
+// WithHostParallelism is the earlier two-knob form of WithHostWorkers,
+// from when the engine bounded per-phase workers and concurrently
+// executing jobs separately. The unified task-graph scheduler has a
+// single pool per run; to preserve the effective concurrency existing
+// callers asked for, the alias sizes that pool at
+// phaseWorkers × concurrentJobs — the old configuration's worst-case
+// goroutine budget. Zero for either knob meant GOMAXPROCS at that
+// level and maps to a GOMAXPROCS-wide pool.
+//
+// Deprecated: use WithHostWorkers.
 func WithHostParallelism(phaseWorkers, concurrentJobs int) Option {
-	return func(s *System) {
-		s.phaseWorkers = phaseWorkers
-		s.hostJobs = concurrentJobs
+	if phaseWorkers <= 0 || concurrentJobs <= 0 {
+		return WithHostWorkers(0)
 	}
+	return WithHostWorkers(phaseWorkers * concurrentJobs)
 }
 
 // New returns a System with the paper's default configuration. Options
@@ -169,7 +187,7 @@ func New(opts ...Option) *System {
 	for _, o := range opts {
 		o(s)
 	}
-	s.runner = exec.NewRunner(s.costCfg, s.clusterCfg).WithHostParallelism(s.phaseWorkers, s.hostJobs)
+	s.runner = exec.NewRunner(s.costCfg, s.clusterCfg).WithHostWorkers(s.hostWorkers)
 	return s
 }
 

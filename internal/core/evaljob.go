@@ -24,6 +24,12 @@ type EvalSpec struct {
 // by (query, tuple id); the X relations contribute truth marks; the
 // reducer evaluates each query's Boolean condition per guard tuple and
 // writes the projection.
+//
+// Inputs is the job's complete read set: the guard relations (usually
+// base relations) and the MSJ output X relations. Declaring them
+// per-relation is what lets the pipelined scheduler re-read the guards
+// while the MSJ jobs producing the X inputs are still running — the
+// EVAL job's guard map tasks no longer wait behind the MSJ barrier.
 func NewEvalJob(name string, specs []EvalSpec) (*mr.Job, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: EVAL job %s has no specs", name)
@@ -51,7 +57,12 @@ func NewEvalJob(name string, specs []EvalSpec) (*mr.Job, error) {
 
 	// Per-query compiled data for the reducer.
 	type querySpec struct {
-		cond     sgf.Condition
+		cond sgf.Condition
+		// condBits is the compiled allocation-free evaluator over the
+		// atom-index truth mask (bit i = atom i of atomKeys matched);
+		// nil for queries with more than 64 distinct atoms, which fall
+		// back to the truth-map path.
+		condBits func(mask uint64) bool
 		atomKeys []string // canonical keys of the distinct atoms, by index
 		project  sgf.Projector
 		outName  string
@@ -84,12 +95,23 @@ func NewEvalJob(name string, specs []EvalSpec) (*mr.Job, error) {
 			xRoles[xn] = xRole{q: int32(qi), atom: int32(ai)}
 			addInput(xn)
 		}
-		qspecs[qi] = querySpec{
+		spec := querySpec{
 			cond:     q.Where,
 			atomKeys: keys,
 			project:  sgf.NewProjector(q.Guard, q.Select),
 			outName:  q.Name,
 		}
+		if len(keys) <= 64 {
+			bitIdx := make(map[string]int, len(keys))
+			for i, k := range keys {
+				bitIdx[k] = i
+			}
+			spec.condBits = sgf.CompileCondition(q.Where, func(k string) (int, bool) {
+				i, ok := bitIdx[k]
+				return i, ok
+			})
+		}
+		qspecs[qi] = spec
 	}
 
 	mapper := mr.MapperFunc(func(input string, id int, t relation.Tuple, emit mr.Emit) {
@@ -108,6 +130,28 @@ func NewEvalJob(name string, specs []EvalSpec) (*mr.Job, error) {
 		q, _ := parseEvalKey(key)
 		spec := &qspecs[q]
 		var guard relation.Tuple
+		if spec.condBits != nil {
+			// Hot path: collect verdicts as an atom-index bitmask and
+			// evaluate the compiled condition — no per-key allocations.
+			var mask uint64
+			for _, m := range msgs {
+				switch v := m.(type) {
+				case TupleVal:
+					guard = v.T
+				case XIndex:
+					mask |= uint64(1) << uint(v.Atom)
+				}
+			}
+			if guard == nil {
+				// An X record without its guard re-read cannot happen in
+				// a well-formed plan; ignore defensively.
+				return
+			}
+			if spec.condBits(mask) {
+				out.Add(spec.outName, spec.project.Apply(guard))
+			}
+			return
+		}
 		truth := make(map[string]bool, len(spec.atomKeys))
 		for _, m := range msgs {
 			switch v := m.(type) {
@@ -118,8 +162,6 @@ func NewEvalJob(name string, specs []EvalSpec) (*mr.Job, error) {
 			}
 		}
 		if guard == nil {
-			// An X record without its guard re-read cannot happen in a
-			// well-formed plan; ignore defensively.
 			return
 		}
 		if sgf.EvalCondition(spec.cond, truth) {

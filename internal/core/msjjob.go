@@ -20,6 +20,12 @@ import (
 // references (opt 2), and intermediate-size-based reducer allocation
 // (opt 3, inside the engine). Shared conditional atoms across equations
 // produce one assert stream instead of several.
+//
+// The job's Inputs list is its complete read set — every guard and
+// conditional relation, deduplicated, and nothing else (the mapper's
+// per-input roles are compiled from the equations, never from database
+// contents). The engine's pipelined scheduler relies on that to start
+// map tasks over each input relation independently (Plan.InputDeps).
 func NewMSJJob(name string, eqs []Equation) (*mr.Job, error) {
 	if len(eqs) == 0 {
 		return nil, fmt.Errorf("core: MSJ job %s has no equations", name)
@@ -109,7 +115,38 @@ func NewMSJJob(name string, eqs []Equation) (*mr.Job, error) {
 		}
 	})
 
+	// classBit[eq] = 1 << classOf[eq]: with at most 64 assert classes
+	// (always, in practice — one class per distinct conditional atom) the
+	// reducer reconciles through a bitmask instead of allocating a map
+	// per key group.
+	var classBit []uint64
+	if len(classes) <= 64 {
+		classBit = make([]uint64, len(eqs))
+		for i := range eqs {
+			classBit[i] = uint64(1) << uint(classOf[i])
+		}
+	}
+
 	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
+		if classBit != nil {
+			var asserted uint64
+			seen := false
+			for _, m := range msgs {
+				if a, ok := m.(Assert); ok {
+					asserted |= uint64(1) << uint(a.Class)
+					seen = true
+				}
+			}
+			if !seen {
+				return
+			}
+			for _, m := range msgs {
+				if r, ok := m.(ReqID); ok && asserted&classBit[r.Eq] != 0 {
+					out.Add(eqs[r.Eq].Out, idTuple(r.ID))
+				}
+			}
+			return
+		}
 		var asserted map[int32]bool
 		for _, m := range msgs {
 			if a, ok := m.(Assert); ok {

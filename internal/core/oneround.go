@@ -170,8 +170,12 @@ func NewOneRoundJob(name string, queries []*sgf.BSGF) (*mr.Job, error) {
 		project sgf.Projector
 		groups  []reqGroup
 		cond    sgf.Condition
-		classOf map[string]int32 // atom key -> class (shared mode truth lookup)
-		outName string
+		// condBits is the shared-mode condition compiled over the
+		// class-index truth mask (bit = assert class); nil when the job
+		// exceeds 64 classes and the reducer uses the truth-map path.
+		condBits func(mask uint64) bool
+		classOf  map[string]int32 // atom key -> class (shared mode truth lookup)
+		outName  string
 	}
 	qspecs := make([]querySpec, len(queries))
 
@@ -260,7 +264,57 @@ func NewOneRoundJob(name string, queries []*sgf.BSGF) (*mr.Job, error) {
 		}
 	})
 
+	// Compile shared-mode conditions over the class-index bitmask; with
+	// at most 64 assert classes the reducer reconciles without a map (or
+	// the per-request truth map truthOf used to build).
+	useBits := len(classes) <= 64
+	if useBits {
+		for qi := range qspecs {
+			spec := &qspecs[qi]
+			if spec.mode != OneRoundShared {
+				continue
+			}
+			spec.condBits = sgf.CompileCondition(spec.cond, func(k string) (int, bool) {
+				ci, ok := spec.classOf[k]
+				return int(ci), ok
+			})
+			if spec.condBits == nil {
+				useBits = false
+				break
+			}
+		}
+	}
+
 	reducer := mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
+		if useBits {
+			var asserted uint64
+			for _, m := range msgs {
+				if a, ok := m.(Assert); ok {
+					asserted |= uint64(1) << uint(a.Class)
+				}
+			}
+			for _, m := range msgs {
+				r, ok := m.(ReqTuple)
+				if !ok {
+					continue
+				}
+				spec := &qspecs[r.Q]
+				if spec.mode == OneRoundShared {
+					if spec.condBits(asserted) {
+						out.Add(spec.outName, r.Out)
+					}
+					continue
+				}
+				// Disjunctive: emit if any literal of this key group holds.
+				for _, l := range spec.groups[r.Disjunct].literals {
+					if (asserted&(uint64(1)<<uint(l.class)) != 0) != l.negated {
+						out.Add(spec.outName, r.Out)
+						break
+					}
+				}
+			}
+			return
+		}
 		var asserted map[int32]bool
 		for _, m := range msgs {
 			if a, ok := m.(Assert); ok {

@@ -46,6 +46,27 @@ type Plan struct {
 	Outputs []string
 }
 
+// InputDeps derives the relation-granular read structure of the plan:
+// for each job, one entry per declared input (in Job.Inputs order)
+// holding the plan job index producing that relation, or -1 for a base
+// relation. These are exactly the producer→consumer edges the engine's
+// pipelined task scheduler wires at execution time
+// (mr.Program.ReadSets over the same jobs): map tasks over input k of
+// job i are released by job InputDeps()[i][k]'s merge of that relation,
+// or run immediately when the entry is -1.
+//
+// This is why every job constructor in this package must declare its
+// read set completely and exactly — a mapper or reducer that consulted
+// a relation outside Job.Inputs (say, an index captured from the
+// database at plan time) could observe it before its producer ran.
+// Plan.Deps always covers these data edges and may add strategy
+// barriers on top (e.g. SEQUNIT's query ordering) for the cluster
+// simulation; TestPlanDepsCoverInputDeps asserts the containment for
+// every strategy.
+func (p *Plan) InputDeps() [][]int {
+	return (&mr.Program{Jobs: p.Jobs}).ReadSets()
+}
+
 // Rounds returns the longest dependency chain.
 func (p *Plan) Rounds() int {
 	depth := make([]int, len(p.Jobs))

@@ -390,3 +390,65 @@ func TestExecRunnerMetrics(t *testing.T) {
 		t.Errorf("sim times: net=%v total=%v", res.NetTime, res.TotalTime)
 	}
 }
+
+// TestPlanDepsCoverInputDeps pins the contract the engine's pipelined
+// task scheduler relies on: every plan's explicit Deps (which may add
+// strategy barriers, and may express a data edge through a chain of
+// barriers) transitively cover all relation-granular data edges derived
+// from the jobs' declared read sets (InputDeps). A constructor that
+// under-declared Job.Inputs — or wired Deps below the data edges —
+// would let the cluster simulation schedule a consumer before its
+// producer.
+func TestPlanDepsCoverInputDeps(t *testing.T) {
+	check := func(plan *Plan) {
+		t.Helper()
+		// ancestors[i] = jobs reachable from i through Deps edges.
+		ancestors := make([]map[int]bool, len(plan.Jobs))
+		for i := range plan.Jobs { // Deps point to earlier jobs only
+			anc := make(map[int]bool)
+			for _, d := range plan.Deps[i] {
+				anc[d] = true
+				for a := range ancestors[d] {
+					anc[a] = true
+				}
+			}
+			ancestors[i] = anc
+		}
+		inputDeps := plan.InputDeps()
+		for i := range plan.Jobs {
+			for k, prod := range inputDeps[i] {
+				if prod >= 0 && !ancestors[i][prod] {
+					t.Errorf("plan %s [%s]: job %d (%s) reads %q from job %d, not covered by Deps %v",
+						plan.Name, plan.Strategy, i, plan.Jobs[i].Name,
+						plan.Jobs[i].Inputs[k], prod, plan.Deps[i])
+				}
+			}
+		}
+	}
+
+	// Flat strategies over the mixed-boolean running example.
+	prog := sgf.MustParse(`Z := SELECT x, y FROM R(x, y) WHERE S(x) AND (T(y) OR NOT U(x));`)
+	for _, plan := range allStrategyPlans(t, prog.Queries[0], paperDB(), prog) {
+		check(plan)
+	}
+
+	// Program strategies over random nested programs.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 10; iter++ {
+		nested := randomNestedProgram(rng, 3)
+		db := nestedTestDB(rng)
+		est := NewEstimator(cost.Default(), cost.Gumbo, db, nested)
+		builders := map[string]func() (*Plan, error){
+			"sequnit":   func() (*Plan, error) { return SeqUnitPlan("su", nested) },
+			"parunit":   func() (*Plan, error) { return ParUnitPlan("pu", nested) },
+			"greedysgf": func() (*Plan, error) { return est.GreedySGFPlan("gs", nested) },
+		}
+		for name, build := range builders {
+			plan, err := build()
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", iter, name, err)
+			}
+			check(plan)
+		}
+	}
+}

@@ -20,7 +20,7 @@ import (
 // per-run state on its own stack (the engine copies the input database
 // into a private working database, and jobs/stats/simulation are local),
 // so any number of goroutines may call Run on one Runner simultaneously.
-// The configuration fields and WithHostParallelism must not be modified
+// The configuration fields and WithHostWorkers must not be modified
 // after the Runner is shared. gumbo.System relies on this to serve
 // concurrent System.Run calls over a single shared Runner.
 type Runner struct {
@@ -40,15 +40,17 @@ func NewRunner(costCfg cost.Config, clusterCfg cluster.Config) *Runner {
 	}
 }
 
-// WithHostParallelism bounds the engine's host-side concurrency:
-// phaseWorkers goroutines per map/reduce phase and up to concurrentJobs
-// dependency-independent jobs of a program at a time. Zero for either
-// means GOMAXPROCS. Outputs, stats and simulated metrics are identical
-// at every setting; only wall-clock time changes. Returns r. Must be
-// called before the Runner is shared between goroutines.
-func (r *Runner) WithHostParallelism(phaseWorkers, concurrentJobs int) *Runner {
-	r.Engine.Parallelism = phaseWorkers
-	r.Engine.JobParallelism = concurrentJobs
+// WithHostWorkers sizes the engine's unified worker pool: every task of
+// a plan — map tasks, shuffle partitions, reduce partitions, output
+// merge shards, across all of the plan's jobs — shares these `workers`
+// goroutines (0 = GOMAXPROCS, 1 = strictly sequential). This replaces
+// the earlier two-knob split of per-phase workers × concurrent jobs:
+// the partition-level scheduler has no job level to bound separately.
+// Outputs, stats and simulated metrics are identical at every setting;
+// only wall-clock time changes. Returns r. Must be called before the
+// Runner is shared between goroutines.
+func (r *Runner) WithHostWorkers(workers int) *Runner {
+	r.Engine.Parallelism = workers
 	return r
 }
 

@@ -35,12 +35,11 @@ type Config struct {
 	// Verify cross-checks every strategy's output against the reference
 	// evaluator (slower; on by default at small scales).
 	Verify bool
-	// HostWorkers / HostJobs bound the engine's host-side concurrency:
-	// worker goroutines per map/reduce phase and concurrently executed
-	// independent jobs of a plan (0 = GOMAXPROCS). Simulated results are
+	// HostWorkers sizes the engine's unified worker pool: every task of
+	// a plan, across all of its jobs, shares these goroutines
+	// (0 = GOMAXPROCS, 1 = strictly sequential). Simulated results are
 	// identical at every setting; only wall-clock time changes.
 	HostWorkers int
-	HostJobs    int
 	// Progress, when non-nil, receives one line per run.
 	Progress io.Writer
 }
@@ -66,7 +65,7 @@ func TestConfig() Config { return At(0.0001) }
 func SmokeConfig() Config { return At(0.00005) }
 
 func (c Config) runner() *exec.Runner {
-	return exec.NewRunner(c.CostCfg, c.Cluster).WithHostParallelism(c.HostWorkers, c.HostJobs)
+	return exec.NewRunner(c.CostCfg, c.Cluster).WithHostWorkers(c.HostWorkers)
 }
 
 func (c Config) logf(format string, args ...any) {

@@ -11,12 +11,21 @@ import (
 	"repro/internal/relation"
 )
 
-// Engine executes jobs. It is safe for concurrent use by independent
-// jobs: RunJob only reads the database it is given (relation.Database is
-// internally locked), and all per-job state is private. RunProgram
-// exploits this by scheduling dependency-independent jobs of a program
-// concurrently on the host (the cluster simulator still models parallel
-// net time; host concurrency only shortens wall-clock time).
+// Engine executes jobs. It is safe for concurrent use: RunJob and
+// RunProgram only read the database they are given (relation.Database
+// is internally locked), and all per-run state is private — each run
+// builds its own task graph and worker pool.
+//
+// Execution is task-granular: a job is decomposed into map tasks,
+// shuffle partition tasks, reduce partition tasks and output merge
+// shards (see jobrun.go), all scheduled on one work-stealing pool of
+// Parallelism workers (pool.go). RunProgram extends the same graph
+// across jobs at relation granularity: a job's map tasks over an input
+// start the moment the merge shard producing that relation completes
+// (scheduler.go), so phases of dependent jobs overlap instead of
+// meeting at per-job barriers. The cluster simulator still models the
+// paper's per-job schedule; host scheduling only shortens wall-clock
+// time.
 //
 // The per-record hot path is allocation-lean by design: record sizes are
 // computed once at emit time, shuffle keys are byte slices carved from a
@@ -28,16 +37,17 @@ import (
 // and job outputs merge through a counted, pre-sized parallel merge
 // (relation.Merge). None of this changes what the engine computes —
 // outputs and stats are bit-for-bit identical at every parallelism
-// setting and to the earlier string-keyed, hash-grouping engine.
+// setting and to the earlier barriered, phase-at-a-time engine.
 type Engine struct {
-	Cost        cost.Config
-	Parallelism int // worker goroutines per phase; 0 = GOMAXPROCS
-	// JobParallelism bounds how many dependency-satisfied jobs RunProgram
-	// executes concurrently; 0 = GOMAXPROCS (same convention as
-	// Parallelism), 1 = strictly sequential. Results and stats are
-	// bit-for-bit identical at every setting.
-	JobParallelism int
-	SampleEvery    int // stride for Sample; 0 = 100
+	Cost cost.Config
+	// Parallelism sizes the unified worker pool a run executes on: every
+	// task of a job — and, under RunProgram, of the whole program —
+	// shares these workers. 0 = GOMAXPROCS, 1 = strictly sequential.
+	// Results and stats are bit-for-bit identical at every setting.
+	// (Earlier engines split this into per-phase workers × concurrent
+	// jobs; the task-graph scheduler has a single pool.)
+	Parallelism int
+	SampleEvery int // stride for Sample; 0 = 100
 }
 
 // NewEngine returns an engine with the given cost configuration.
@@ -46,13 +56,6 @@ func NewEngine(c cost.Config) *Engine { return &Engine{Cost: c} }
 func (e *Engine) workers() int {
 	if e.Parallelism > 0 {
 		return e.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-func (e *Engine) jobWorkers() int {
-	if e.JobParallelism > 0 {
-		return e.JobParallelism
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -92,7 +95,7 @@ func (a *keyArena) hold(key []byte) []byte {
 
 // emitInto builds the engine's map-task emit function: the key is copied
 // into the task arena (the Emit key-ownership contract) and the record's
-// modelled size is computed once. Factored out of RunJob so the
+// modelled size is computed once. Factored out of the map task so the
 // zero-allocation guarantee is testable on the exact production path
 // (TestEmitPathZeroKeyAllocs).
 func emitInto(arena *keyArena, recs *[]record) Emit {
@@ -103,234 +106,29 @@ func emitInto(arena *keyArena, recs *[]record) Emit {
 }
 
 // RunJob executes the job against db and returns its output relations
-// and measured statistics.
+// and measured statistics. The job runs as its own task graph on a
+// pool of Parallelism workers; RunProgram schedules many jobs onto one
+// shared pool instead of calling RunJob per job.
 func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, JobStats, error) {
-	if job.Mapper == nil || job.Reducer == nil {
-		return nil, JobStats{}, fmt.Errorf("mr: job %s lacks a mapper or reducer", job.Name)
+	if err := job.validate(); err != nil {
+		return nil, JobStats{}, err
 	}
-	inflate := job.InflateIntermediate
-	if inflate <= 0 {
-		inflate = 1.0
-	}
-	stats := JobStats{Name: job.Name}
-
-	// ---- Map phase ----
-	type taskSpec struct {
-		input    string
-		partIdx  int
-		rel      *relation.Relation
-		from, to int // tuple range
-	}
-	var tasks []taskSpec
-	for _, name := range job.Inputs {
+	rels := make([]*relation.Relation, len(job.Inputs))
+	for i, name := range job.Inputs {
 		rel := db.Relation(name)
 		if rel == nil {
 			return nil, JobStats{}, fmt.Errorf("mr: job %s: unknown input relation %q", job.Name, name)
 		}
-		inputMB := mbOf(rel.Bytes())
-		m := e.Cost.Mappers(inputMB)
-		if m > rel.Size() && rel.Size() > 0 {
-			m = rel.Size()
-		}
-		if rel.Size() == 0 {
-			m = 1
-		}
-		partIdx := len(stats.Parts)
-		stats.Parts = append(stats.Parts, PartStats{Input: name, InputMB: inputMB, Mappers: m})
-		n := rel.Size()
-		for t := 0; t < m; t++ {
-			from := n * t / m
-			to := n * (t + 1) / m
-			tasks = append(tasks, taskSpec{input: name, partIdx: partIdx, rel: rel, from: from, to: to})
-		}
+		rels[i] = rel
 	}
-	// recsPerKTuples[part] is a running estimate of map output records
-	// per 1024 input tuples, published by finished tasks and used to
-	// pre-size later tasks' record buffers. Gumbo's mappers are near
-	// uniform per input (the same property Engine.Sample relies on to
-	// extrapolate M_i from a strided sample), so the estimate converges
-	// after the part's first task; the first task falls back to one
-	// record per tuple, the common case for request/assert mappers. The
-	// estimate only sets capacity — results never depend on it.
-	recsPerKTuples := make([]atomic.Int64, len(stats.Parts))
-	results := make([]mapTaskResult, len(tasks))
-	if err := parallelFor(e.workers(), len(tasks), func(ti int) error {
-		ts := tasks[ti]
-		n := ts.to - ts.from
-		capHint := n
-		if est := recsPerKTuples[ts.partIdx].Load(); est > 0 {
-			capHint = int(est*int64(n)/1024) + 8
+	jr := e.newJobRun(job, nil, nil)
+	runTasks(e.workers(), func(c *poolCtx) {
+		jr.seed(c)
+		for part, rel := range rels {
+			jr.inputReady(c, part, rel)
 		}
-		recs := make([]record, 0, capHint)
-		var arena keyArena
-		emit := emitInto(&arena, &recs)
-		for i := ts.from; i < ts.to; i++ {
-			job.Mapper.Map(ts.input, i, ts.rel.Tuple(i), emit)
-		}
-		if n > 0 {
-			recsPerKTuples[ts.partIdx].Store(int64(len(recs)) * 1024 / int64(n))
-		}
-		if job.Packing {
-			recs = packRecords(recs)
-		}
-		var bytes int64
-		for _, r := range recs {
-			bytes += r.size
-		}
-		results[ti] = mapTaskResult{records: recs, bytes: bytes}
-		return nil
-	}); err != nil {
-		return nil, JobStats{}, err
-	}
-	for ti, ts := range tasks {
-		p := &stats.Parts[ts.partIdx]
-		p.InterMB += mbOf(results[ti].bytes) * inflate
-		p.Records += int64(len(results[ti].records))
-	}
-	stats.MapTasks = len(tasks)
-
-	// ---- Reducer count (§5.1 optimization (3)) ----
-	reducers := job.Reducers
-	if reducers <= 0 {
-		perReducer := e.Cost.ReducerDataMB
-		if job.ReducerInputMB > 0 {
-			// ReducerInputMB is expressed at full scale (Pig's 1 GB of
-			// map input per reducer); convert to the running scale.
-			scale := e.Cost.Scale
-			if scale <= 0 {
-				scale = 1
-			}
-			perReducer = job.ReducerInputMB * scale
-		}
-		basis := stats.InterMB()
-		if job.ReducersFromInput {
-			basis = stats.InputMB()
-		}
-		if perReducer <= 0 {
-			reducers = 1
-		} else {
-			tmp := e.Cost
-			tmp.ReducerDataMB = perReducer
-			reducers = tmp.Reducers(basis)
-		}
-	}
-	if reducers < 1 {
-		reducers = 1
-	}
-	stats.Reducers = reducers
-	stats.ReduceTasks = reducers
-
-	// ---- Shuffle: partition records by key hash, in map-task order ----
-	// Each map task partitions its own output independently; per-reducer
-	// slices are then concatenated in task order, so the records each
-	// reducer sees — and the measured loads — are identical to a serial
-	// pass over the tasks. Placement is a counted two-pass: count each
-	// reducer's records, then carve per-reducer sub-slices out of one
-	// backing array, so a task allocates three slices regardless of the
-	// reducer count instead of growing `reducers` appends.
-	type taskPartition struct {
-		parts [][]record
-		loads []int64
-	}
-	taskParts := make([]taskPartition, len(results))
-	if err := parallelFor(e.workers(), len(results), func(ti int) error {
-		recs := results[ti].records
-		tp := taskPartition{
-			parts: make([][]record, reducers),
-			loads: make([]int64, reducers),
-		}
-		if len(recs) > 0 {
-			tc := make([]int32, len(recs)+reducers) // targets and counts, one allocation
-			target, counts := tc[:len(recs)], tc[len(recs):]
-			for i, r := range recs {
-				p := int32(hashKey(r.key) % uint32(reducers))
-				target[i] = p
-				counts[p]++
-				tp.loads[p] += r.size
-			}
-			buf := make([]record, len(recs))
-			off := 0
-			for p := 0; p < reducers; p++ {
-				c := int(counts[p])
-				tp.parts[p] = buf[off : off : off+c]
-				off += c
-			}
-			for i, r := range recs {
-				p := target[i]
-				tp.parts[p] = append(tp.parts[p], r)
-			}
-		}
-		taskParts[ti] = tp
-		return nil
-	}); err != nil {
-		return nil, JobStats{}, err
-	}
-	partitions := make([][]record, reducers)
-	loads := make([]int64, reducers)
-	if err := parallelFor(e.workers(), reducers, func(p int) error {
-		n := 0
-		for ti := range taskParts {
-			n += len(taskParts[ti].parts[p])
-		}
-		part := make([]record, 0, n)
-		var load int64
-		for ti := range taskParts {
-			part = append(part, taskParts[ti].parts[p]...)
-			load += taskParts[ti].loads[p]
-		}
-		partitions[p] = part
-		loads[p] = load
-		return nil
-	}); err != nil {
-		return nil, JobStats{}, err
-	}
-	stats.ReduceLoadMB = make([]float64, reducers)
-	for i, l := range loads {
-		stats.ReduceLoadMB[i] = mbOf(l) * inflate
-	}
-
-	// ---- Reduce phase: sort each partition by key, walk key runs ----
-	// When there are fewer reduce partitions than phase workers, the
-	// spare workers parallelize each partition's key sort (the top radix
-	// level fans out across them); the sorted order — and everything
-	// downstream — is identical either way.
-	sortWorkers := 1
-	if w := e.workers(); w > reducers {
-		sortWorkers = w / reducers
-	}
-	outs := make([]*Output, reducers)
-	if err := parallelFor(e.workers(), reducers, func(ri int) error {
-		out := newOutput(job.Outputs)
-		outs[ri] = out
-		part := partitions[ri]
-		forEachGroupIdx(part, sortIndexByKey(part, sortWorkers), func(key []byte, msgs []Message) {
-			job.Reducer.Reduce(key, msgs, out)
-		})
-		return nil
-	}); err != nil {
-		return nil, JobStats{}, err
-	}
-
-	// ---- Merge outputs deterministically, compute K ----
-	// Reduce-task outputs are unioned in reducer index order with
-	// first-occurrence dedup — bit-for-bit the order a serial
-	// Relation.Add loop would produce — by relation.Merge, which counts,
-	// pre-sizes and parallelizes the union so the job epilogue is no
-	// longer a serial per-tuple map walk.
-	outDB := relation.NewDatabase()
-	srcs := make([]*relation.Relation, 0, len(outs))
-	for _, name := range outputOrder(job.Outputs) {
-		srcs = srcs[:0]
-		for _, o := range outs {
-			if r := o.rels[name]; r != nil {
-				srcs = append(srcs, r)
-			}
-		}
-		merged := relation.Merge(name, job.Outputs[name], srcs, e.workers())
-		outDB.Put(merged)
-		stats.OutputMB += mbOf(merged.Bytes())
-	}
-	return outDB, stats, nil
+	})
+	return jr.outputDB(), jr.stats, nil
 }
 
 // outputOrder returns declared output names sorted for determinism.
@@ -366,6 +164,10 @@ func hashKey(key []byte) uint32 {
 // mutex on the hot path, and chunking keeps tiny per-index bodies from
 // thrashing the counter. On error the remaining chunks are abandoned and
 // the lowest-indexed recorded error is returned.
+//
+// The engine's stages run on the task pool (pool.go); parallelFor
+// remains the fan-out primitive for fine-grained work nested inside one
+// task, such as the parallel top radix level (radix.go).
 func parallelFor(workers, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil

@@ -98,8 +98,9 @@ func runEnd(recs []record, idx []int32, i int) int {
 
 // forEachGroup groups one reduce partition's records by key and calls fn
 // once per distinct key; it is forEachGroupIdx over a freshly computed
-// serial sort index (the engine sorts up front so partition sorts can
-// share the phase's worker budget).
+// serial sort index (a reduce partition task computes the index itself
+// so the sort can borrow the pool's spare workers — see
+// jobRun.reduceTask).
 func forEachGroup(recs []record, fn func(key []byte, msgs []Message)) {
 	if len(recs) == 0 {
 		return

@@ -1,0 +1,443 @@
+package mr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// jobRun is one job execution decomposed into the task units the
+// unified pool schedules:
+//
+//	input ready ──▶ map tasks (one per split of that input)
+//	all maps    ──▶ reducer count, then shuffle partition tasks
+//	              (one per map task: counted two-pass placement)
+//	all shuffles ─▶ reduce partition tasks (one per reducer:
+//	              concatenate in task order, radix sort, walk key
+//	              runs, Reducer.Reduce)
+//	all reduces ──▶ output merge shards (one per declared output
+//	              relation, relation.Merge inside)
+//	all merges  ──▶ final stats fold, done callback
+//
+// Each input's map tasks are spawned independently the moment that
+// input relation exists (inputReady), which is what lets the program
+// scheduler start a downstream job's map work over base relations — or
+// over an upstream output that merged early — while other producers are
+// still running. Stage joins are plain counters under jr.mu; every task
+// writes into a pre-indexed slot and all order-sensitive folds (float
+// accumulation of per-part MB, OutputMB) walk those slots in declared
+// part/task/name order, so outputs and stats are bit-for-bit identical
+// to the barriered per-phase engine at every pool width (pinned by the
+// golden and determinism tests).
+type jobRun struct {
+	e       *Engine
+	job     *Job
+	inflate float64
+
+	// onOutput, when set, is invoked once per merged output relation,
+	// from the merge task itself — the program scheduler's publish hook
+	// (it releases dependent jobs' map tasks). done fires once when the
+	// job's stats are final.
+	onOutput func(c *poolCtx, name string, rel *relation.Relation)
+	done     func(c *poolCtx, jr *jobRun)
+
+	// Stage join state, guarded by mu. inputsLeft counts inputs whose
+	// relation has not arrived yet; the remaining counters count
+	// spawned-but-unfinished tasks of the current stage.
+	mu         sync.Mutex
+	inputsLeft int
+	mapsLeft   int
+	shufsLeft  int
+	redsLeft   int
+	mergesLeft int
+
+	tasks   [][]mapTaskSpec   // per input part: that input's splits
+	results [][]mapTaskResult // per input part, per map task
+	// est[part] is the running map-output estimate (records per 1024
+	// input tuples) published by finished tasks of the part and used to
+	// pre-size later tasks' record buffers. Gumbo's mappers are near
+	// uniform per input (the property Engine.Sample relies on), so the
+	// estimate converges after the part's first task; it only sets
+	// capacity — results never depend on it.
+	est []atomic.Int64
+
+	reducers  int
+	taskParts [][]taskPartition // per input part, per map task
+	outs      []*Output         // per reducer
+	outNames  []string          // declared outputs, sorted
+	outMB     []float64         // per output, folded in name order
+	merged    []*relation.Relation
+
+	stats JobStats
+}
+
+// mapTaskSpec is one map task: a contiguous tuple range of one input.
+type mapTaskSpec struct {
+	rel      *relation.Relation
+	from, to int
+}
+
+// taskPartition is one map task's output partitioned by reducer.
+type taskPartition struct {
+	parts [][]record
+	loads []int64
+}
+
+// newJobRun prepares the task-graph state for one job. The job must
+// already have passed (*Job).validate.
+func (e *Engine) newJobRun(job *Job,
+	onOutput func(c *poolCtx, name string, rel *relation.Relation),
+	done func(c *poolCtx, jr *jobRun)) *jobRun {
+	inflate := job.InflateIntermediate
+	if inflate <= 0 {
+		inflate = 1.0
+	}
+	return &jobRun{
+		e:          e,
+		job:        job,
+		inflate:    inflate,
+		onOutput:   onOutput,
+		done:       done,
+		inputsLeft: len(job.Inputs),
+		tasks:      make([][]mapTaskSpec, len(job.Inputs)),
+		results:    make([][]mapTaskResult, len(job.Inputs)),
+		est:        make([]atomic.Int64, len(job.Inputs)),
+		stats:      JobStats{Name: job.Name, Parts: make([]PartStats, len(job.Inputs))},
+	}
+}
+
+// seed starts a job that has no inputs (its map phase is empty, so no
+// inputReady call will ever fire). Jobs with inputs are driven entirely
+// by inputReady.
+func (jr *jobRun) seed(c *poolCtx) {
+	if len(jr.job.Inputs) == 0 {
+		jr.mapsDone(c)
+	}
+}
+
+// inputReady is called exactly once per input part, as soon as that
+// relation exists: immediately for base relations, from the producer's
+// merge task for produced ones. It computes the input's splits (the
+// same size-based policy as the barriered engine: Cost.Mappers of the
+// input MB, clamped to the tuple count, one task for empty inputs) and
+// spawns the map tasks.
+func (jr *jobRun) inputReady(c *poolCtx, part int, rel *relation.Relation) {
+	inputMB := mbOf(rel.Bytes())
+	m := jr.e.Cost.Mappers(inputMB)
+	if m > rel.Size() && rel.Size() > 0 {
+		m = rel.Size()
+	}
+	if rel.Size() == 0 {
+		m = 1
+	}
+	n := rel.Size()
+	specs := make([]mapTaskSpec, m)
+	for t := 0; t < m; t++ {
+		specs[t] = mapTaskSpec{rel: rel, from: n * t / m, to: n * (t + 1) / m}
+	}
+	jr.mu.Lock()
+	jr.stats.Parts[part] = PartStats{Input: jr.job.Inputs[part], InputMB: inputMB, Mappers: m}
+	jr.tasks[part] = specs
+	jr.results[part] = make([]mapTaskResult, m)
+	jr.inputsLeft--
+	jr.mapsLeft += m
+	jr.mu.Unlock()
+	for ti := range specs {
+		ti := ti
+		c.spawn(func(c *poolCtx) { jr.mapTask(c, part, ti) })
+	}
+}
+
+// mapTask runs the mapper over one split, with the allocation-lean emit
+// path (arena-held keys, sizes computed once) and optional packing.
+func (jr *jobRun) mapTask(c *poolCtx, part, ti int) {
+	job := jr.job
+	input := job.Inputs[part]
+	ts := jr.tasks[part][ti]
+	n := ts.to - ts.from
+	capHint := n
+	if est := jr.est[part].Load(); est > 0 {
+		capHint = int(est*int64(n)/1024) + 8
+	}
+	recs := make([]record, 0, capHint)
+	var arena keyArena
+	emit := emitInto(&arena, &recs)
+	for i := ts.from; i < ts.to; i++ {
+		job.Mapper.Map(input, i, ts.rel.Tuple(i), emit)
+	}
+	if n > 0 {
+		jr.est[part].Store(int64(len(recs)) * 1024 / int64(n))
+	}
+	if job.Packing {
+		recs = packRecords(recs)
+	}
+	var bytes int64
+	for _, r := range recs {
+		bytes += r.size
+	}
+	jr.results[part][ti] = mapTaskResult{records: recs, bytes: bytes}
+	jr.mu.Lock()
+	jr.mapsLeft--
+	last := jr.mapsLeft == 0 && jr.inputsLeft == 0
+	jr.mu.Unlock()
+	if last {
+		jr.mapsDone(c)
+	}
+}
+
+// mapsDone (run by the last finishing map task) folds the per-task
+// measurements in declared part/task order — float accumulation order
+// is part of the bit-for-bit contract — derives the reducer count, and
+// spawns one shuffle partition task per map task.
+func (jr *jobRun) mapsDone(c *poolCtx) {
+	total := 0
+	for part := range jr.tasks {
+		p := &jr.stats.Parts[part]
+		for ti := range jr.tasks[part] {
+			res := &jr.results[part][ti]
+			p.InterMB += mbOf(res.bytes) * jr.inflate
+			p.Records += int64(len(res.records))
+			total++
+		}
+	}
+	jr.stats.MapTasks = total
+	jr.reducers = jr.computeReducers()
+	jr.stats.Reducers = jr.reducers
+	jr.stats.ReduceTasks = jr.reducers
+
+	jr.taskParts = make([][]taskPartition, len(jr.tasks))
+	for part := range jr.tasks {
+		jr.taskParts[part] = make([]taskPartition, len(jr.tasks[part]))
+	}
+	jr.mu.Lock()
+	jr.shufsLeft = total
+	jr.mu.Unlock()
+	if total == 0 {
+		jr.shufflesDone(c)
+		return
+	}
+	for part := range jr.tasks {
+		for ti := range jr.tasks[part] {
+			part, ti := part, ti
+			c.spawn(func(c *poolCtx) { jr.shuffleTask(c, part, ti) })
+		}
+	}
+}
+
+// computeReducers derives r per §5.1 optimization (3) (or honors the
+// job's fixed count / Pig-style input-based allocation).
+func (jr *jobRun) computeReducers() int {
+	job, e := jr.job, jr.e
+	reducers := job.Reducers
+	if reducers <= 0 {
+		perReducer := e.Cost.ReducerDataMB
+		if job.ReducerInputMB > 0 {
+			// ReducerInputMB is expressed at full scale (Pig's 1 GB of
+			// map input per reducer); convert to the running scale.
+			scale := e.Cost.Scale
+			if scale <= 0 {
+				scale = 1
+			}
+			perReducer = job.ReducerInputMB * scale
+		}
+		basis := jr.stats.InterMB()
+		if job.ReducersFromInput {
+			basis = jr.stats.InputMB()
+		}
+		if perReducer <= 0 {
+			reducers = 1
+		} else {
+			tmp := e.Cost
+			tmp.ReducerDataMB = perReducer
+			reducers = tmp.Reducers(basis)
+		}
+	}
+	if reducers < 1 {
+		reducers = 1
+	}
+	return reducers
+}
+
+// shuffleTask partitions one map task's records by key hash with the
+// counted two-pass placement: count each reducer's records, carve
+// per-reducer sub-slices out of one backing array, then place — three
+// allocations per task regardless of the reducer count.
+func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
+	recs := jr.results[part][ti].records
+	reducers := jr.reducers
+	tp := taskPartition{
+		parts: make([][]record, reducers),
+		loads: make([]int64, reducers),
+	}
+	if len(recs) > 0 {
+		tc := make([]int32, len(recs)+reducers) // targets and counts, one allocation
+		target, counts := tc[:len(recs)], tc[len(recs):]
+		for i, r := range recs {
+			p := int32(hashKey(r.key) % uint32(reducers))
+			target[i] = p
+			counts[p]++
+			tp.loads[p] += r.size
+		}
+		buf := make([]record, len(recs))
+		off := 0
+		for p := 0; p < reducers; p++ {
+			cnt := int(counts[p])
+			tp.parts[p] = buf[off : off : off+cnt]
+			off += cnt
+		}
+		for i, r := range recs {
+			p := target[i]
+			tp.parts[p] = append(tp.parts[p], r)
+		}
+	}
+	jr.taskParts[part][ti] = tp
+	jr.results[part][ti].records = nil // the partitioned copies own the records now
+	jr.mu.Lock()
+	jr.shufsLeft--
+	last := jr.shufsLeft == 0
+	jr.mu.Unlock()
+	if last {
+		jr.shufflesDone(c)
+	}
+}
+
+// shufflesDone spawns one reduce partition task per reducer.
+func (jr *jobRun) shufflesDone(c *poolCtx) {
+	// The map results are fully consumed (each task's records were
+	// nil'ed as its shuffle partition copied them); drop the scaffolding
+	// so a finished stage doesn't hold memory for the program's whole
+	// duration — the per-job engine freed it when RunJob returned.
+	jr.results = nil
+	r := jr.reducers
+	jr.stats.ReduceLoadMB = make([]float64, r)
+	jr.outs = make([]*Output, r)
+	jr.mu.Lock()
+	jr.redsLeft = r
+	jr.mu.Unlock()
+	for ri := 0; ri < r; ri++ {
+		ri := ri
+		c.spawn(func(c *poolCtx) { jr.reduceTask(c, ri) })
+	}
+}
+
+// reduceTask concatenates the reducer's share of every map task's
+// partition in declared part/task order (so the records it sees — and
+// the measured load — are identical to a serial pass over the tasks),
+// sorts the partition by key and walks key runs through the user
+// Reducer. When the pool has parked workers (fewer runnable tasks than
+// width), they parallelize the key sort's top radix level — sized from
+// actual pool idleness, so overlapping jobs' reduce tasks don't each
+// assume they own the machine; the sorted order is identical either
+// way.
+func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
+	n := 0
+	for part := range jr.taskParts {
+		for ti := range jr.taskParts[part] {
+			n += len(jr.taskParts[part][ti].parts[ri])
+		}
+	}
+	partRecs := make([]record, 0, n)
+	var load int64
+	for part := range jr.taskParts {
+		for ti := range jr.taskParts[part] {
+			tp := &jr.taskParts[part][ti]
+			partRecs = append(partRecs, tp.parts[ri]...)
+			load += tp.loads[ri]
+		}
+	}
+	jr.stats.ReduceLoadMB[ri] = mbOf(load) * jr.inflate
+	sortWorkers := c.spare()
+	out := newOutput(jr.job.Outputs)
+	jr.outs[ri] = out
+	forEachGroupIdx(partRecs, sortIndexByKey(partRecs, sortWorkers), func(key []byte, msgs []Message) {
+		jr.job.Reducer.Reduce(key, msgs, out)
+	})
+	jr.mu.Lock()
+	jr.redsLeft--
+	last := jr.redsLeft == 0
+	jr.mu.Unlock()
+	if last {
+		jr.reducesDone(c)
+	}
+}
+
+// reducesDone spawns one output merge shard per declared output
+// relation (sorted name order).
+func (jr *jobRun) reducesDone(c *poolCtx) {
+	// Every reduce task has concatenated its share; release the whole
+	// job's shuffle records now rather than when the program finishes
+	// (the jobRun stays reachable through the scheduler's closures).
+	jr.taskParts = nil
+	jr.outNames = outputOrder(jr.job.Outputs)
+	jr.merged = make([]*relation.Relation, len(jr.outNames))
+	jr.outMB = make([]float64, len(jr.outNames))
+	jr.mu.Lock()
+	jr.mergesLeft = len(jr.outNames)
+	jr.mu.Unlock()
+	if len(jr.outNames) == 0 {
+		jr.finishJob(c)
+		return
+	}
+	for ni := range jr.outNames {
+		ni := ni
+		c.spawn(func(c *poolCtx) { jr.mergeTask(c, ni) })
+	}
+}
+
+// mergeTask unions one output relation's reduce-task pieces in reducer
+// index order with first-occurrence dedup (relation.Merge — bit-for-bit
+// the order a serial Relation.Add loop would produce) and publishes the
+// merged relation through onOutput, releasing any map tasks of
+// downstream jobs waiting on this relation.
+func (jr *jobRun) mergeTask(c *poolCtx, ni int) {
+	name := jr.outNames[ni]
+	srcs := make([]*relation.Relation, 0, len(jr.outs))
+	for _, o := range jr.outs {
+		if r := o.rels[name]; r != nil {
+			srcs = append(srcs, r)
+		}
+	}
+	// Shard the merge across the pool's parked workers only: under the
+	// pipelined scheduler several jobs' merge tasks can run at once,
+	// and each sizing itself at full pool width would oversubscribe the
+	// host. Merge results are identical at every width.
+	merged := relation.Merge(name, jr.job.Outputs[name], srcs, c.spare())
+	jr.merged[ni] = merged
+	jr.outMB[ni] = mbOf(merged.Bytes())
+	if jr.onOutput != nil {
+		jr.onOutput(c, name, merged)
+	}
+	jr.mu.Lock()
+	jr.mergesLeft--
+	last := jr.mergesLeft == 0
+	jr.mu.Unlock()
+	if last {
+		jr.finishJob(c)
+	}
+}
+
+// finishJob folds the per-output sizes in sorted name order (the same
+// accumulation order as the barriered epilogue) and reports completion.
+func (jr *jobRun) finishJob(c *poolCtx) {
+	// Merge shards have consumed the per-reducer outputs; keep only the
+	// merged relations (which may alias their storage, exactly as the
+	// per-job engine's results did).
+	jr.outs = nil
+	for _, mb := range jr.outMB {
+		jr.stats.OutputMB += mb
+	}
+	if jr.done != nil {
+		jr.done(c, jr)
+	}
+}
+
+// outputDB assembles the job's output database: merged relations in
+// sorted output-name order.
+func (jr *jobRun) outputDB() *relation.Database {
+	db := relation.NewDatabase()
+	for _, rel := range jr.merged {
+		db.Put(rel)
+	}
+	return db
+}

@@ -1,0 +1,254 @@
+package mr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The engine's unified work-stealing executor. One taskPool runs every
+// schedulable unit of a job or a whole program — map tasks, shuffle
+// partition tasks, reduce partition tasks, output merge shards — on a
+// fixed set of worker goroutines. There is no per-phase or per-job
+// fan-out/fan-in: a worker that finishes a reduce partition of one job
+// immediately picks up whatever is runnable, typically a map task of a
+// downstream or independent job. This is what lets the partition-level
+// program scheduler (scheduler.go) overlap phases of dependent jobs
+// instead of idling workers at job barriers.
+//
+// Scheduling policy: each worker owns a private deque. Tasks spawned
+// while running on a worker push onto that worker's deque; the owner
+// pops newest-first (LIFO, cache-friendly for the stage that spawned
+// them), while idle workers steal oldest-first (FIFO) from siblings, so
+// stolen work is the coarsest available (the classic work-stealing
+// discipline). Task execution order is therefore schedule-dependent —
+// everything built on the pool writes results into pre-indexed slots
+// and joins phases with counters, so observable results never depend on
+// the order (see jobrun.go and the determinism tests).
+
+// poolTask is one unit of schedulable work. The context identifies the
+// executing worker so the task can spawn follow-up work onto the local
+// deque.
+type poolTask func(c *poolCtx)
+
+// poolCtx is the execution context handed to every task.
+type poolCtx struct {
+	pool *taskPool
+	id   int // worker index owning the local deque
+}
+
+// spawn schedules fn onto the current worker's deque.
+func (c *poolCtx) spawn(fn poolTask) {
+	c.pool.spawn(c.id, fn)
+}
+
+// spare returns 1 + the number of currently parked workers: the width
+// a task may use for nested fine-grained fan-out (the radix sort's top
+// level, relation.Merge's shards) without oversubscribing the pool.
+// With other jobs' tasks runnable the pool is busy and spare is 1 —
+// nested work stays serial; a lone reduce partition on an otherwise
+// idle pool gets the whole width, as the barriered engine gave it. The
+// count is an instantaneous hint, not a reservation (overlapping tasks
+// may observe the same idle workers); results never depend on it.
+func (c *poolCtx) spare() int {
+	p := c.pool
+	p.mu.Lock()
+	n := p.idle
+	p.mu.Unlock()
+	return n + 1
+}
+
+// taskDeque is one worker's task queue. A plain mutex-guarded slice:
+// pool tasks are coarse (thousands of records each), so queue traffic
+// is far too low for the lock to matter.
+type taskDeque struct {
+	mu sync.Mutex
+	q  []poolTask
+}
+
+func (d *taskDeque) push(t poolTask) {
+	d.mu.Lock()
+	d.q = append(d.q, t)
+	d.mu.Unlock()
+}
+
+// pop removes the newest task (owner side, LIFO).
+func (d *taskDeque) pop() poolTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.q)
+	if n == 0 {
+		return nil
+	}
+	t := d.q[n-1]
+	d.q[n-1] = nil
+	d.q = d.q[:n-1]
+	return t
+}
+
+// steal removes the oldest task (thief side, FIFO).
+func (d *taskDeque) steal() poolTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return nil
+	}
+	t := d.q[0]
+	d.q[0] = nil
+	d.q = d.q[1:]
+	return t
+}
+
+// taskPool runs tasks to quiescence: runTasks returns when every
+// spawned task — including tasks spawned by tasks — has finished.
+type taskPool struct {
+	deques []taskDeque
+
+	mu   sync.Mutex // guards idle, panicked and the wakeup protocol
+	cond *sync.Cond
+	idle int
+	// stopped flips once, on quiescence or abort. It is atomic so the
+	// dequeue fast path can observe an abort without taking mu: after a
+	// task panic, workers must abandon queued tasks promptly, not drain
+	// them.
+	stopped atomic.Bool
+
+	pendingMu sync.Mutex
+	pending   int // spawned but unfinished tasks
+	panicked  any // first task panic, re-raised on the runTasks caller
+}
+
+// spawn schedules fn onto worker `from`'s deque and wakes a sleeper if
+// one is parked. The pending count is raised before the task becomes
+// visible, so the pool cannot reach quiescence with fn still queued.
+func (p *taskPool) spawn(from int, fn poolTask) {
+	p.pendingMu.Lock()
+	p.pending++
+	p.pendingMu.Unlock()
+	p.deques[from].push(fn)
+	p.mu.Lock()
+	if p.idle > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// finish records one task completion; the last completion stops the
+// pool and releases every parked worker.
+func (p *taskPool) finish() {
+	p.pendingMu.Lock()
+	p.pending--
+	done := p.pending == 0
+	p.pendingMu.Unlock()
+	if done {
+		p.mu.Lock()
+		p.stopped.Store(true)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// next returns a runnable task for worker id, or nil when the pool has
+// stopped. The fast path pops the local deque, then steals; the slow
+// path re-scans every deque under p.mu and parks. Spawners signal under
+// the same lock after pushing, so a task pushed after the scan wakes
+// the parked worker — no lost wakeups.
+func (p *taskPool) next(id int) poolTask {
+	if p.stopped.Load() {
+		// Quiescence (queues empty) or abort (queued tasks abandoned,
+		// panic pending re-raise): either way, stop taking work.
+		return nil
+	}
+	if t := p.deques[id].pop(); t != nil {
+		return t
+	}
+	if t := p.stealFrom(id); t != nil {
+		return t
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.stopped.Load() {
+			return nil
+		}
+		if t := p.deques[id].pop(); t != nil {
+			return t
+		}
+		if t := p.stealFrom(id); t != nil {
+			return t
+		}
+		p.idle++
+		p.cond.Wait()
+		p.idle--
+	}
+}
+
+// stealFrom scans the other deques round-robin starting after id.
+func (p *taskPool) stealFrom(id int) poolTask {
+	n := len(p.deques)
+	for k := 1; k < n; k++ {
+		if t := p.deques[(id+k)%n].steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// abort records a task panic and stops the pool: workers finish their
+// current task and exit, queued tasks are abandoned. The first panic
+// wins.
+func (p *taskPool) abort(v any) {
+	p.mu.Lock()
+	if p.panicked == nil {
+		p.panicked = v
+	}
+	p.stopped.Store(true)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// runOne executes t, converting a task panic into an abort so the
+// panic can be re-raised on the runTasks caller's goroutine.
+func (p *taskPool) runOne(c *poolCtx, t poolTask) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.abort(v)
+			return
+		}
+		p.finish()
+	}()
+	t(c)
+}
+
+// runTasks creates a pool of `workers` goroutines, runs seed as the
+// first task, and returns once the pool is quiescent (seed and every
+// transitively spawned task finished). A panic in any task aborts the
+// pool and is re-raised on the caller's goroutine, so user map/reduce
+// panics surface to the RunJob/RunProgram caller exactly as they did
+// when phases ran inline.
+func runTasks(workers int, seed poolTask) {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &taskPool{deques: make([]taskDeque, workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.spawn(0, seed)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			c := &poolCtx{pool: p, id: id}
+			for {
+				t := p.next(id)
+				if t == nil {
+					return
+				}
+				p.runOne(c, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}

@@ -14,21 +14,46 @@ type Program struct {
 	Jobs []*Job
 }
 
-// Deps derives, for each job, the indices of the jobs it depends on: the
-// latest earlier job writing each of its inputs.
-func (p *Program) Deps() [][]int {
+// ReadSets derives the relation-granular dependency structure of the
+// program from the jobs' declared per-input read sets (Job.Inputs): for
+// each job, one entry per input — in Inputs order — holding the index
+// of the earlier job producing that relation, or -1 for a base
+// relation. Each relation has at most one producer (Validate forbids
+// overwrites), so these entries are exactly the producer→consumer edges
+// the pipelined scheduler wires: input k of job i becomes runnable when
+// job ReadSets()[i][k]'s merge shard for that relation completes, or
+// immediately when the entry is -1.
+func (p *Program) ReadSets() [][]int {
 	producer := make(map[string]int) // relation name -> job index of latest producer
-	deps := make([][]int, len(p.Jobs))
+	sets := make([][]int, len(p.Jobs))
 	for i, j := range p.Jobs {
+		set := make([]int, len(j.Inputs))
+		for k, in := range j.Inputs {
+			if pi, ok := producer[in]; ok {
+				set[k] = pi
+			} else {
+				set[k] = -1
+			}
+		}
+		sets[i] = set
+		for out := range j.Outputs {
+			producer[out] = i
+		}
+	}
+	return sets
+}
+
+// Deps derives, for each job, the indices of the jobs it depends on: the
+// job-granular projection of ReadSets (first occurrence order, deduped).
+func (p *Program) Deps() [][]int {
+	deps := make([][]int, len(p.Jobs))
+	for i, set := range p.ReadSets() {
 		seen := make(map[int]bool)
-		for _, in := range j.Inputs {
-			if pi, ok := producer[in]; ok && !seen[pi] {
+		for _, pi := range set {
+			if pi >= 0 && !seen[pi] {
 				seen[pi] = true
 				deps[i] = append(deps[i], pi)
 			}
-		}
-		for out := range j.Outputs {
-			producer[out] = i
 		}
 	}
 	return deps
@@ -81,15 +106,27 @@ func (p *Program) Validate(base []string) error {
 	return nil
 }
 
-// RunProgram executes the program's jobs, feeding outputs forward, and
-// returns the database of all job outputs together with per-job stats in
-// declared job order. The input database is not modified.
+// RunProgram executes the program as one unified task graph, feeding
+// outputs forward, and returns the database of all job outputs together
+// with per-job stats in declared job order. The input database is not
+// modified.
 //
-// Jobs whose dependencies (per Deps) are satisfied run concurrently on
-// up to Engine.JobParallelism goroutines; because each relation has a
-// unique producer (Validate forbids overwrites), every job sees exactly
-// the inputs it would see under sequential execution, so outputs and
-// stats are identical at every parallelism level.
+// Scheduling is partition-granular on a single pool of
+// Engine.Parallelism workers (see runPipelined): a job's map tasks over
+// an input start as soon as that relation exists, so phases of
+// dependent jobs overlap instead of meeting at per-job barriers.
+// Because each relation has a unique producer (Validate forbids
+// overwrites) and a consumer part waits for exactly that producer's
+// merge, every job sees the inputs it would see under sequential
+// execution — outputs and stats are bit-for-bit identical at every
+// parallelism level.
+//
+// Failure semantics are deterministic: the only execution-time job
+// failures are per-job validation failures (Validate above excludes
+// unknown inputs), so jobs are validated up front. When the
+// lowest-indexed broken job is f, jobs 0..f-1 run to completion and
+// report stats, jobs from f on are not started, and the returned error
+// names job f.
 func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Database, []JobStats, error) {
 	if err := p.Validate(db.Names()); err != nil {
 		return nil, nil, err
@@ -98,19 +135,15 @@ func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Databa
 	for _, r := range db.Relations() {
 		working.Put(r)
 	}
-	workers := e.jobWorkers()
-	if workers > len(p.Jobs) {
-		workers = len(p.Jobs)
+	limit := len(p.Jobs)
+	var failErr error
+	for i, job := range p.Jobs {
+		if err := job.validate(); err != nil {
+			limit, failErr = i, err
+			break
+		}
 	}
-	var (
-		results []progResult
-		err     error
-	)
-	if workers <= 1 {
-		results, err = e.runSequential(p, working)
-	} else {
-		results, err = e.runDAG(p, working, workers)
-	}
+	results := e.runPipelined(p, working, e.workers(), limit)
 	// Fold completed jobs in declared order so the outputs database and
 	// the stats slice are independent of the schedule.
 	outputs := relation.NewDatabase()
@@ -124,8 +157,8 @@ func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Databa
 		}
 		stats = append(stats, res.stats)
 	}
-	if err != nil {
-		return nil, stats, err
+	if failErr != nil {
+		return nil, stats, fmt.Errorf("mr: job %s: %w", p.Jobs[limit].Name, failErr)
 	}
 	return outputs, stats, nil
 }

@@ -11,7 +11,7 @@ import (
 // pass beats comparison sorting: one pass buckets the whole partition by
 // its leading key byte, long duplicate-key runs collapse into single
 // buckets after a few levels, and the top-level pass parallelizes
-// cleanly across phase workers.
+// cleanly across the pool's spare workers.
 //
 // Both the radix path and the comparison fallback realize the same total
 // order — plain lexicographic byte order on keys. The comparison

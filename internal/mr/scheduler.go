@@ -2,7 +2,6 @@ package mr
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/relation"
 )
@@ -14,117 +13,90 @@ type progResult struct {
 	done  bool // job ran to completion
 }
 
-// runDAG executes the program's jobs respecting the dependency edges of
-// p.Deps(), running up to `workers` dependency-satisfied jobs at a time.
-// Outputs of finished jobs are published into the shared working
-// database before any dependent starts, so every job reads exactly the
-// inputs it would read under sequential execution; results and stats are
-// therefore identical at every parallelism level.
-//
-// On failure no new jobs are scheduled, but already-queued jobs with a
-// lower index than the recorded failure still run, so when several
-// ready jobs fail the lowest-indexed one's error is reported regardless
-// of goroutine scheduling. The results of completed jobs are returned
-// alongside the error.
-func (e *Engine) runDAG(p *Program, working *relation.Database, workers int) ([]progResult, error) {
-	n := len(p.Jobs)
-	results := make([]progResult, n)
-	deps := p.Deps()
-	dependents := make([][]int, n)
-	remaining := make([]int, n)
-	for i, ds := range deps {
-		remaining[i] = len(ds)
-		for _, d := range ds {
-			dependents[d] = append(dependents[d], i)
-		}
-	}
-
-	ready := make(chan int, n)
-	var (
-		mu       sync.Mutex
-		enqueued int
-		finished int
-		failIdx  = -1
-		failErr  error
-	)
-	// enqueue must be called with mu held.
-	enqueue := func(i int) {
-		enqueued++
-		ready <- i
-	}
-	mu.Lock()
-	for i := 0; i < n; i++ {
-		if remaining[i] == 0 {
-			enqueue(i)
-		}
-	}
-	if enqueued == 0 {
-		close(ready) // n == 0 (Validate rejects cyclic programs)
-	}
-	mu.Unlock()
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range ready {
-				mu.Lock()
-				// After a failure, skip queued jobs unless they could
-				// supersede the recorded error with a lower index.
-				aborted := failErr != nil && i > failIdx
-				mu.Unlock()
-
-				var (
-					outs *relation.Database
-					st   JobStats
-					err  error
-				)
-				if !aborted {
-					outs, st, err = e.RunJob(p.Jobs[i], working)
-				}
-
-				mu.Lock()
-				switch {
-				case aborted:
-					// skipped: nothing to record
-				case err != nil:
-					if failErr == nil || i < failIdx {
-						failIdx, failErr = i, err
-					}
-				default:
-					// Publish outputs before releasing dependents: the
-					// lock ordering makes the producer's writes visible
-					// to every job it unblocks.
-					for _, r := range outs.Relations() {
-						working.Put(r)
-					}
-					results[i] = progResult{outs: outs, stats: st, done: true}
-					for _, d := range dependents[i] {
-						remaining[d]--
-						if remaining[d] == 0 && failErr == nil {
-							enqueue(d)
-						}
-					}
-				}
-				finished++
-				if finished == enqueued {
-					close(ready)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-
-	if failErr != nil {
-		return results, fmt.Errorf("mr: job %s: %w", p.Jobs[failIdx].Name, failErr)
-	}
-	return results, nil
+// consumerRef identifies one input part of one job: the unit the
+// pipelined scheduler releases when the relation that part reads
+// becomes available.
+type consumerRef struct {
+	job  int
+	part int
 }
 
-// runSequential executes the jobs strictly in declared order: the
-// reference schedule the DAG scheduler must match bit for bit.
+// runPipelined executes jobs [0, limit) of the program as one unified
+// task graph on a single work-stealing pool of `workers` goroutines.
+// There are no job barriers: producer→consumer edges are wired at
+// relation granularity from the jobs' declared read sets
+// (Program.ReadSets) — a job's map tasks over an input spawn the moment
+// that relation exists. Base-relation parts spawn at seed time, so a
+// downstream job's map work over base inputs (e.g. an EVAL job
+// re-reading its guard relations) overlaps with the upstream jobs still
+// computing its other inputs; produced parts spawn from the upstream
+// merge shard that publishes the relation. Reduce partitions of one job
+// overlap with map tasks of independent jobs and of dependents whose
+// other inputs are ready — whatever is runnable keeps the pool busy.
+//
+// Determinism: each merged relation is published into the shared
+// working database before its consumers' map tasks are spawned (the
+// spawn's queue handoff orders the writes), and every job reads exactly
+// the relations it would read under sequential execution — each
+// relation has a unique producer (Validate forbids overwrites) and a
+// consumer part waits for precisely that producer's merge shard.
+// Results and stats are therefore bit-for-bit identical to
+// runSequential at every pool width; the caller folds them in declared
+// job order.
+func (e *Engine) runPipelined(p *Program, working *relation.Database, workers, limit int) []progResult {
+	results := make([]progResult, len(p.Jobs))
+	if limit == 0 {
+		return results
+	}
+	reads := p.ReadSets()
+	// consumers[rel] lists the input parts reading a produced relation.
+	// Jobs below limit only consume from producers below limit (a
+	// producer always precedes its consumers), so the truncated graph is
+	// closed and drains fully.
+	consumers := make(map[string][]consumerRef)
+	for i := 0; i < limit; i++ {
+		for part, prod := range reads[i] {
+			if prod >= 0 {
+				name := p.Jobs[i].Inputs[part]
+				consumers[name] = append(consumers[name], consumerRef{job: i, part: part})
+			}
+		}
+	}
+	runs := make([]*jobRun, limit)
+	for i := 0; i < limit; i++ {
+		i := i
+		runs[i] = e.newJobRun(p.Jobs[i],
+			func(c *poolCtx, name string, rel *relation.Relation) {
+				// Publish before releasing dependents: consumers spawned
+				// below read the relation out of `working` or receive it
+				// directly; either way the merge completed first.
+				working.Put(rel)
+				for _, cr := range consumers[name] {
+					runs[cr.job].inputReady(c, cr.part, rel)
+				}
+			},
+			func(c *poolCtx, jr *jobRun) {
+				results[i] = progResult{outs: jr.outputDB(), stats: jr.stats, done: true}
+			})
+	}
+	runTasks(workers, func(c *poolCtx) {
+		for i := 0; i < limit; i++ {
+			runs[i].seed(c)
+			for part, prod := range reads[i] {
+				if prod < 0 {
+					// Base relation: present from the start (Validate
+					// checked the program against the base names).
+					runs[i].inputReady(c, part, working.Relation(p.Jobs[i].Inputs[part]))
+				}
+			}
+		}
+	})
+	return results
+}
+
+// runSequential executes the jobs strictly in declared order, one
+// whole job at a time: the reference schedule the pipelined scheduler
+// must match bit for bit (the differential tests compare against it).
 func (e *Engine) runSequential(p *Program, working *relation.Database) ([]progResult, error) {
 	results := make([]progResult, len(p.Jobs))
 	for i, job := range p.Jobs {

@@ -123,8 +123,18 @@ func (o *Output) Add(name string, t relation.Tuple) {
 
 // Job describes one MapReduce job.
 type Job struct {
-	Name    string
-	Inputs  []string       // names of input relations, each read once
+	Name string
+	// Inputs is the job's declared read set, one entry per input
+	// relation. The declaration must be complete and exact: the engine
+	// feeds the mapper only these relations, and the pipelined program
+	// scheduler wires producer→consumer edges per input from it
+	// (Program.ReadSets) — map tasks over input k start as soon as
+	// relation Inputs[k] exists, possibly while the job's other inputs
+	// are still being produced. A mapper or reducer must therefore
+	// never consult relations outside the declared set (closures over
+	// relation data captured at plan time would break the scheduling
+	// contract).
+	Inputs  []string
 	Outputs map[string]int // declared output relations: name → arity
 
 	Mapper  Mapper
@@ -160,6 +170,16 @@ type Job struct {
 	// seconds (e.g. Hive query compilation); it is multiplied by the
 	// cost configuration's Scale at simulation time.
 	ExtraOverheadSec float64
+}
+
+// validate checks the job is runnable. The program scheduler validates
+// every job before building the task graph, so failures are
+// deterministic (lowest declared index) rather than schedule-dependent.
+func (j *Job) validate() error {
+	if j.Mapper == nil || j.Reducer == nil {
+		return fmt.Errorf("mr: job %s lacks a mapper or reducer", j.Name)
+	}
+	return nil
 }
 
 // KeyBytes is the modelled size of a shuffle key. Keys are encoded

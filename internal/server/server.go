@@ -6,9 +6,12 @@
 // into them, and evaluates SGF queries against them on one shared
 // gumbo.System. Three mechanisms turn the library into a service:
 //
-//   - Admission control: a semaphore sized from the system's
-//     WithHostParallelism job knob bounds how many plan executions run at
-//     once; excess requests queue instead of oversubscribing the host.
+//   - Admission control: a semaphore (Config.ConcurrentJobs) bounds how
+//     many plan executions run at once; excess requests queue instead of
+//     oversubscribing the host. Each admitted plan executes on its own
+//     work-stealing worker pool of Config.PhaseWorkers goroutines
+//     (gumbo.WithHostWorkers), so the engine's total worker count is
+//     bounded by PhaseWorkers × admitted plans.
 //   - Plan caching: parsed-and-planned queries are kept in an LRU cache
 //     keyed by database instance, Database.Generation, strategy and
 //     canonical query text, so repeated query text skips parsing,
@@ -59,10 +62,14 @@ var strategies = map[string]gumbo.Strategy{
 
 // Config configures a Server.
 type Config struct {
-	// PhaseWorkers and ConcurrentJobs are passed to
-	// gumbo.WithHostParallelism (0 = GOMAXPROCS). ConcurrentJobs also
-	// sizes the admission-control semaphore: at most that many plan
-	// executions run at once; further requests queue.
+	// PhaseWorkers sizes the worker pool each plan execution runs on
+	// (gumbo.WithHostWorkers; 0 = GOMAXPROCS): every task of that plan
+	// — across all of its jobs — shares those goroutines.
+	// ConcurrentJobs sizes the admission-control semaphore
+	// (0 = GOMAXPROCS): at most that many plan executions run at once;
+	// further requests queue. Total engine workers are therefore
+	// bounded by PhaseWorkers × ConcurrentJobs; size the pair to the
+	// host together.
 	PhaseWorkers   int
 	ConcurrentJobs int
 	// PlanCacheSize bounds the LRU plan cache (entries; 0 = 128).
@@ -79,7 +86,7 @@ type Config struct {
 	// before validation even starts.
 	MaxBodyBytes int64
 	// Options are applied to the shared gumbo.System after
-	// WithHostParallelism (e.g. gumbo.WithScale for scaled-down costs).
+	// WithHostWorkers (e.g. gumbo.WithScale for scaled-down costs).
 	Options []gumbo.Option
 }
 
@@ -136,7 +143,7 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
-	opts := append([]gumbo.Option{gumbo.WithHostParallelism(cfg.PhaseWorkers, cfg.ConcurrentJobs)}, cfg.Options...)
+	opts := append([]gumbo.Option{gumbo.WithHostWorkers(cfg.PhaseWorkers)}, cfg.Options...)
 	return &Server{
 		sys:      gumbo.New(opts...),
 		cache:    newPlanCache(cfg.PlanCacheSize),

@@ -338,6 +338,71 @@ func EvalCondition(c Condition, truth map[string]bool) bool {
 	return c.eval(func(k string) bool { return truth[k] })
 }
 
+// CompileCondition compiles c into an allocation-free evaluator over a
+// uint64 truth mask: bit positions are assigned by bitOf, which maps an
+// atom's canonical Key to its position (0–63). This is the reducer-side
+// hot path of the EVAL and one-round jobs — EvalCondition allocates a
+// truth map per key group, the compiled closure tree allocates nothing
+// per call. Returns nil (callers fall back to EvalCondition) when any
+// atom is unmapped or a position falls outside the mask; a nil
+// condition compiles to constantly true. The two evaluators agree on
+// every condition and mask (TestCompileConditionMatchesEval).
+func CompileCondition(c Condition, bitOf func(atomKey string) (int, bool)) func(mask uint64) bool {
+	if c == nil {
+		return func(uint64) bool { return true }
+	}
+	return compileCond(c, bitOf)
+}
+
+func compileCond(c Condition, bitOf func(string) (int, bool)) func(uint64) bool {
+	switch x := c.(type) {
+	case AtomCond:
+		pos, ok := bitOf(x.Atom.Key())
+		if !ok || pos < 0 || pos > 63 {
+			return nil
+		}
+		m := uint64(1) << uint(pos)
+		return func(mask uint64) bool { return mask&m != 0 }
+	case Not:
+		inner := compileCond(x.C, bitOf)
+		if inner == nil {
+			return nil
+		}
+		return func(mask uint64) bool { return !inner(mask) }
+	case And:
+		subs := make([]func(uint64) bool, len(x.Cs))
+		for i, sc := range x.Cs {
+			if subs[i] = compileCond(sc, bitOf); subs[i] == nil {
+				return nil
+			}
+		}
+		return func(mask uint64) bool {
+			for _, s := range subs {
+				if !s(mask) {
+					return false
+				}
+			}
+			return true
+		}
+	case Or:
+		subs := make([]func(uint64) bool, len(x.Cs))
+		for i, sc := range x.Cs {
+			if subs[i] = compileCond(sc, bitOf); subs[i] == nil {
+				return nil
+			}
+		}
+		return func(mask uint64) bool {
+			for _, s := range subs {
+				if s(mask) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return nil
+}
+
 // Relations returns the distinct relation symbols mentioned in c.
 func Relations(c Condition) []string {
 	var out []string

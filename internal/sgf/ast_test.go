@@ -181,3 +181,57 @@ func TestMatcherTrivial(t *testing.T) {
 		t.Error("constant atom should not be trivial")
 	}
 }
+
+// TestCompileConditionMatchesEval checks the compiled bitmask evaluator
+// agrees with EvalCondition on every truth assignment of a set of
+// representative conditions (the reducer hot path must be a pure
+// strength reduction).
+func TestCompileConditionMatchesEval(t *testing.T) {
+	conds := []string{
+		`Z := SELECT x FROM R(x, y) WHERE S(x);`,
+		`Z := SELECT x FROM R(x, y) WHERE NOT S(x);`,
+		`Z := SELECT x FROM R(x, y) WHERE S(x) AND T(y);`,
+		`Z := SELECT x FROM R(x, y) WHERE S(x) OR NOT T(y);`,
+		`Z := SELECT x FROM R(x, y) WHERE S(x) AND (T(y) OR NOT U(x));`,
+		`Z := SELECT x FROM R(x, y) WHERE (S(x) AND NOT T(x) AND NOT U(x)) OR (NOT S(x) AND T(x) AND NOT U(x)) OR (NOT S(x) AND NOT T(x) AND U(x));`,
+		`Z := SELECT x FROM R(x, y) WHERE S(x) AND S(y) AND NOT (T(x) OR U(y));`,
+	}
+	for _, src := range conds {
+		q := MustParse(src).Queries[0]
+		atoms := q.CondAtoms()
+		bitIdx := make(map[string]int, len(atoms))
+		keys := make([]string, len(atoms))
+		for i, a := range atoms {
+			bitIdx[a.Key()] = i
+			keys[i] = a.Key()
+		}
+		compiled := CompileCondition(q.Where, func(k string) (int, bool) {
+			i, ok := bitIdx[k]
+			return i, ok
+		})
+		if compiled == nil {
+			t.Fatalf("%s: CompileCondition returned nil", src)
+		}
+		for mask := uint64(0); mask < 1<<len(atoms); mask++ {
+			truth := make(map[string]bool, len(atoms))
+			for i, k := range keys {
+				truth[k] = mask&(1<<i) != 0
+			}
+			if got, want := compiled(mask), EvalCondition(q.Where, truth); got != want {
+				t.Errorf("%s: mask %b: compiled=%v eval=%v", src, mask, got, want)
+			}
+		}
+	}
+	// Nil condition (absent WHERE) is constantly true.
+	if f := CompileCondition(nil, func(string) (int, bool) { return 0, false }); !f(0) {
+		t.Error("nil condition should compile to true")
+	}
+	// Unmapped atoms refuse to compile (callers fall back).
+	q := MustParse(`Z := SELECT x FROM R(x, y) WHERE S(x);`).Queries[0]
+	if f := CompileCondition(q.Where, func(string) (int, bool) { return 0, false }); f != nil {
+		t.Error("unmapped atom should fail compilation")
+	}
+	if f := CompileCondition(q.Where, func(string) (int, bool) { return 64, true }); f != nil {
+		t.Error("out-of-range bit should fail compilation")
+	}
+}

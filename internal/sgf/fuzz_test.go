@@ -1,0 +1,61 @@
+package sgf
+
+import "testing"
+
+// FuzzParse drives the SGF lexer/parser (and, on success, the
+// printer/re-parse round trip) with arbitrary input. The parser is the
+// service's network-facing surface — cmd/gumbo-serve feeds it raw HTTP
+// request bodies — so it must reject any input with an error, never a
+// panic, and printing a parsed program must yield a program that parses
+// to the same rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Shapes from the parser tests.
+		`Z := SELECT x, y FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));`,
+		`Z := SELECT (x, y) FROM R(x, y, 4) WHERE S(1, x);`,
+		`Z1 := SELECT aut FROM Amaz(ttl, aut, "bad")
+			WHERE BN(ttl, aut, "bad") AND BD(ttl, aut, 'bad');
+			Z2 := SELECT new, aut FROM Upcoming(new, aut) WHERE NOT Z1(aut);`,
+		`Z := SELECT x FROM R(x) WHERE NOT S(x) AND T(x) OR U(x);`,
+		`Z := select x from R(x) where not S(x);`,
+		"-- line comment\n# another\nZ := SELECT x FROM R(x); -- trailing",
+		`Q1 := SELECT x, y FROM R1(x, y) WHERE S(x);
+		Q2 := SELECT x, y FROM Q1(x, y) WHERE T(x);`,
+		// Error-shaped seeds.
+		``,
+		`Z := SELECT x FROM R(x)`,
+		`Z SELECT x FROM R(x);`,
+		`Z := SELECT x FROM R(x) WHERE S(x) @;`,
+		`Z := SELECT x FROM R(x, ");`,
+		`Z := SELECT x FROM R();`,
+		`SELECT := SELECT x FROM R(x);`,
+		`Z := SELECT x FROM R(x) WHERE NOT;`,
+		"Z := SELECT x FROM R(x) WHERE S(x\x00y);",
+		`Z := SELECT x FROM R(x) WHERE (S(x);`,
+		`:=;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Printing any syntactically valid program must not panic, even
+		// when it fails semantic validation.
+		if up, err := ParseUnvalidated(src); err == nil {
+			_ = up.String()
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		// Accepted programs must round-trip: printing and re-parsing
+		// reproduces the same rendering.
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("round trip failed to parse %q (from %q): %v", printed, src, err)
+		}
+		if got := p2.String(); got != printed {
+			t.Fatalf("round trip not stable: %q -> %q", printed, got)
+		}
+	})
+}

@@ -8,8 +8,10 @@
 #   BENCH='BenchmarkMSJJob' PKG=. scripts/bench.sh  # other benchmarks/packages
 #
 # The default set covers the engine hot-path micro-benchmarks
-# (./internal/mr/) plus the end-to-end Greedy-BSGF query benchmark at
-# the repo root; PKG may list several packages.
+# (./internal/mr/) plus two end-to-end benchmarks at the repo root: the
+# Greedy-BSGF query and the deep-DAG pipelined program (the
+# partition-level scheduler's headline number); PKG may list several
+# packages.
 #
 # The snapshot schema matches BENCH_pr2.json's "before"/"after" entries,
 # so successive snapshots diff cleanly across PRs.
@@ -17,7 +19,7 @@ set -eu
 
 out="${1:-bench_snapshot.json}"
 benchtime="${BENCHTIME:-10x}"
-bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping|BenchmarkGreedyBSGFQuery}"
+bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping|BenchmarkGreedyBSGFQuery|BenchmarkProgramPipelined}"
 pkg="${PKG:-./internal/mr/ .}"
 
 cd "$(dirname "$0")/.."
