@@ -1,0 +1,174 @@
+// Vet unit-checker protocol: the go command, given
+// -vettool=gumbo-lint, probes the binary once with -V=full (build
+// cache identity) and, when vet flags were passed, with -flags (flag
+// discovery), then invokes it once per package with a JSON config file
+// describing the compilation unit — file list, import map, and the
+// compiler export data of every dependency. This file implements that
+// protocol over the shared analysis driver, mirroring
+// golang.org/x/tools/go/analysis/unitchecker without the dependency.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// version participates in the go command's content-addressed vet
+// cache: bump it when analyzer behavior changes so cached clean
+// verdicts are invalidated.
+const version = "v1.0.0"
+
+// vetConfig is the JSON the go command writes for each vetted unit
+// (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// handleVetProtocol answers the go command's -V / -flags probes.
+// Returns true when the invocation was a probe and has been answered.
+func handleVetProtocol(args []string) bool {
+	for _, arg := range args {
+		switch {
+		case arg == "-V" || strings.HasPrefix(arg, "-V="):
+			fmt.Printf("gumbo-lint version %s\n", version)
+			return true
+		case arg == "-flags":
+			// No analyzer exposes flags; an empty set tells the go
+			// command to pass none through.
+			fmt.Println("[]")
+			return true
+		}
+	}
+	return false
+}
+
+// vetUnit checks one compilation unit described by cfgFile and returns
+// the process exit code (0 clean, 2 findings — vet's convention).
+func vetUnit(cfgFile string) int {
+	cfg := new(vetConfig)
+	data, err := os.ReadFile(cfgFile)
+	if err == nil {
+		err = json.Unmarshal(data, cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gumbo-lint: reading vet config: %v\n", err)
+		return 1
+	}
+	// The go command expects the facts file regardless of findings;
+	// the suite defines no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "gumbo-lint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "gumbo-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{
+		Importer:  &vetImporter{cfg: cfg, gc: importer.ForCompiler(fset, compiler, cfgLookup(cfg))},
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "gumbo-lint: %v\n", err)
+		return 1
+	}
+
+	diags, err := analysis.Run(lint.Analyzers(), fset, files, pkg, info, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gumbo-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// cfgLookup serves dependency export data from the vet config's
+// PackageFile table.
+func cfgLookup(cfg *vetConfig) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// vetImporter applies the unit's ImportMap before delegating to the
+// export-data importer.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func (im *vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.gc.Import(path)
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string // absolute filename
+	line   int    // line the directive suppresses (its own line, or the one below for standalone comments)
+	names  map[string]bool
+	reason string
+	pos    token.Pos
+}
+
+// ignoreSet indexes directives by file and suppressed line.
+type ignoreSet struct {
+	byLine map[string]map[int][]*ignoreDirective
+	bad    []*ignoreDirective // directives without a reason
+}
+
+// IgnoreAnalyzer is the synthetic analyzer under which malformed
+// //lint:ignore directives are reported (a suppression without a
+// reason is itself a finding — the reason is the documentation the
+// next reader gets instead of the warning).
+var IgnoreAnalyzer = &Analyzer{
+	Name: "lintdirective",
+	Doc:  "reports malformed //lint:ignore directives (missing analyzer name or reason)",
+	Run:  func(*Pass) error { return nil },
+}
+
+// collectIgnores scans every comment in files for //lint:ignore
+// directives. A directive suppresses matching diagnostics on its own
+// line; a comment that is the only thing on its line suppresses the
+// line below instead (the conventional "directive above the flagged
+// statement" placement).
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{byLine: make(map[string]map[int][]*ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{
+					file:  pos.Filename,
+					line:  pos.Line,
+					names: make(map[string]bool),
+					pos:   c.Pos(),
+				}
+				fields := strings.Fields(text)
+				if len(fields) >= 1 {
+					for _, name := range strings.Split(fields[0], ",") {
+						d.names[name] = true
+					}
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				// A comment starting at column 1..indentation with no
+				// code before it on the line suppresses the next line.
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					d.line = pos.Line + 1
+				}
+				if len(d.names) == 0 || d.reason == "" {
+					set.bad = append(set.bad, d)
+					continue
+				}
+				m := set.byLine[d.file]
+				if m == nil {
+					m = make(map[int][]*ignoreDirective)
+					set.byLine[d.file] = m
+				}
+				m[d.line] = append(m[d.line], d)
+			}
+		}
+	}
+	return set
+}
+
+// onlyCommentOnLine reports whether comment c is the first token on its
+// line (no statement shares the line before it).
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cPos := fset.Position(c.Pos())
+	only := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		if n.Pos().IsValid() && n != ast.Node(f) {
+			p := fset.Position(n.Pos())
+			if p.Filename == cPos.Filename && p.Line == cPos.Line && p.Column < cPos.Column {
+				only = false
+				return false
+			}
+		}
+		return true
+	})
+	return only
+}
+
+// suppresses reports whether a directive covers diagnostic d.
+func (s *ignoreSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, dir := range s.byLine[pos.Filename][pos.Line] {
+		if dir.names[d.Analyzer.Name] || dir.names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// malformed returns diagnostics for directives missing a name or
+// reason, honoring the pass-level file restriction.
+func (s *ignoreSet) malformed(reportFiles map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.bad {
+		if reportFiles != nil && !reportFiles[d.file] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+			Analyzer: IgnoreAnalyzer,
+		})
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+const ignoreSrc = `package p
+
+func f() {
+	a := 1 //lint:ignore dummy covered: inline directive on the flagged line
+	b := 2 //lint:ignore dummy
+	//lint:ignore dummy covered: standalone directive above the flagged line
+	c := 3
+	d := 4
+	_, _, _, _ = a, b, c, d
+}
+`
+
+// TestIgnoreDirectives pins the suppression machinery: an inline
+// directive suppresses its own line, a standalone directive suppresses
+// the next line, and a directive without a reason is itself reported
+// (and suppresses nothing).
+func TestIgnoreDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignoredata.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dummy := &analysis.Analyzer{
+		Name: "dummy",
+		Doc:  "reports every short variable declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+						pass.Reportf(as.Pos(), "short variable declaration")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{dummy}, fset, []*ast.File{f}, pkg, info, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", fset.Position(d.Pos).Line, d.Analyzer.Name))
+	}
+	// Line 4 (a) is inline-suppressed; line 7 (c) is suppressed by the
+	// standalone directive on line 6. Line 5's directive has no reason:
+	// it is reported as lintdirective and b's finding survives.
+	want := []string{"5:dummy", "5:lintdirective", "8:dummy"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,114 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// in-repo framework.
+//
+// Expectations are trailing comments of the form
+//
+//	emit(k, v) // want `escapes the callback`
+//	x, y // want `first` `second`
+//
+// Each backquoted string is a regular expression that must match the
+// message of a distinct diagnostic reported on that line, in order;
+// lines with no want comment must produce no diagnostics. Suppressed
+// diagnostics (//lint:ignore) never reach matching, so a test line can
+// pin the suppression machinery by carrying a directive and no want.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run loads the packages matching patterns in module directory dir,
+// applies the analyzer, and reports mismatches between diagnostics and
+// // want comments through t.Errorf.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v", patterns)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.ReportFiles)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// wantKey identifies one source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile("// want((?: +`[^`]*`)+)[ \t]*$")
+
+// checkWants compares diagnostics with the package's want comments.
+func checkWants(t *testing.T, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if pkg.ReportFiles != nil && !pkg.ReportFiles[tf.Name()] {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Errorf("%s: malformed want comment %q (want // want `re` ...)", pos, c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, part := range strings.Split(strings.TrimSpace(m[1]), "`") {
+					part = strings.TrimSpace(part)
+					if part == "" {
+						continue
+					}
+					re, err := regexp.Compile(part)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, part, err)
+						continue
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		res := wants[key]
+		matched := false
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				wants[key] = append(res[:i:i], res[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer.Name, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, re)
+		}
+	}
+}

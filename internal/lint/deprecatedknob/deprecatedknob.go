@@ -1,0 +1,105 @@
+// Package deprecatedknob flags internal use of retired configuration
+// surfaces, keeping the PR 5 single-knob model (one unified worker
+// pool, sized by WithHostWorkers / -workers) converged.
+//
+// Flagged:
+//   - references to gumbo.WithHostParallelism (and any other identifier
+//     in the retired table: JobParallelism, HostJobs) outside their own
+//     declaration;
+//   - registration of a command-line flag named "jobs" through the
+//     flag package — the two-knob spelling must not grow new surfaces.
+//
+// The deliberate compatibility shims (gumbo-bench/-serve keep a -jobs
+// flag; gumbo_test exercises the alias) carry //lint:ignore directives
+// explaining themselves.
+package deprecatedknob
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecatedknob",
+	Doc:  "flags use of deprecated parallelism knobs (WithHostParallelism, -jobs registrations) superseded by the single-knob model",
+	Run:  run,
+}
+
+// retired maps identifier names of removed or deprecated knob surfaces
+// to the replacement to name in the diagnostic.
+var retired = map[string]string{
+	"WithHostParallelism": "WithHostWorkers",
+	"JobParallelism":      "Engine.Parallelism",
+	"HostJobs":            "HostWorkers",
+}
+
+// flagFuncs maps flag-registration function names to the index of
+// their name argument.
+var flagFuncs = map[string]int{
+	"Bool": 0, "BoolVar": 1,
+	"Int": 0, "IntVar": 1,
+	"Int64": 0, "Int64Var": 1,
+	"Uint": 0, "UintVar": 1,
+	"Uint64": 0, "Uint64Var": 1,
+	"String": 0, "StringVar": 1,
+	"Float64": 0, "Float64Var": 1,
+	"Duration": 0, "DurationVar": 1,
+	"Func": 0, "Var": 1, "TextVar": 1,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil {
+					return true
+				}
+				if repl, ok := retired[n.Name]; ok && isKnobObject(obj) {
+					pass.Reportf(n.Pos(), "%s is a deprecated knob surface: the engine has one unified worker pool; use %s", n.Name, repl)
+				}
+			case *ast.CallExpr:
+				checkFlagRegistration(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKnobObject keeps the retired-name match honest: only functions and
+// struct fields count, so an unrelated local variable that happens to
+// share a name is not flagged.
+func isKnobObject(obj types.Object) bool {
+	switch o := obj.(type) {
+	case *types.Func:
+		return true
+	case *types.Var:
+		return o.IsField()
+	}
+	return false
+}
+
+// checkFlagRegistration reports flag definitions named "jobs".
+func checkFlagRegistration(pass *analysis.Pass, call *ast.CallExpr) {
+	f := lintutil.FuncObj(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Name() != "flag" {
+		return
+	}
+	argIdx, ok := flagFuncs[f.Name()]
+	if !ok || len(call.Args) <= argIdx {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[argIdx]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	if name, err := strconv.Unquote(lit.Value); err == nil && name == "jobs" {
+		pass.Reportf(call.Pos(), "registering a -jobs flag: the two-knob model is retired; expose -workers (one pool) instead")
+	}
+}

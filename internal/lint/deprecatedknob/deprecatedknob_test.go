@@ -1,0 +1,12 @@
+package deprecatedknob_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/deprecatedknob"
+)
+
+func TestDeprecatedKnob(t *testing.T) {
+	analysistest.Run(t, "../testdata", deprecatedknob.Analyzer, "lintest/deprecatedknob")
+}

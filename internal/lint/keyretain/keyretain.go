@@ -1,0 +1,314 @@
+// Package keyretain flags reducer and emit callbacks that retain the
+// engine-owned key []byte or the reused msgs []Message beyond the
+// callback.
+//
+// Contract (see docs/INVARIANTS.md and the mr.Reducer/mr.Emit godoc):
+// the key bytes live in a per-task engine arena and the msgs slice is
+// reused across Reduce calls, so neither may be stored past the
+// callback's return without an explicit copy — string(key),
+// append([]byte(nil), key...), bytes.Clone — while individual Message
+// values are immutable after emission and may be retained freely.
+//
+// The analyzer identifies callbacks by signature: any function or
+// literal with parameters ([]byte, []mr.Message, *mr.Output) is
+// reducer-shaped, and any with ([]byte, mr.Message) outside the engine
+// package itself is emit-shaped (a mapper-side emit wrapper; the
+// engine's own implementation owns the arena and is exempt). Within a
+// callback it taints the owned parameters and every local alias, then
+// reports stores that outlive the call: assignment to a captured,
+// package-level, receiver-field or otherwise non-local location,
+// append of an uncopied alias into a non-local slice, goroutine
+// capture, and channel sends.
+package keyretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "keyretain",
+	Doc:  "flags reducer/emit callbacks that retain the arena-owned key or reused msgs slice beyond the callback",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if owned := ownedParams(pass, ftype); len(owned) > 0 {
+				checkCallback(pass, body, owned)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ownedParams returns the engine-owned parameters of a callback-shaped
+// function type: {key, msgs} for reducer shapes, {key} for emit
+// shapes, nil for everything else. The map value names the parameter
+// in diagnostics.
+func ownedParams(pass *analysis.Pass, ftype *ast.FuncType) map[types.Object]string {
+	var params []*ast.Ident
+	var ptypes []types.Type
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if t == nil {
+			return nil
+		}
+		if len(field.Names) == 0 {
+			params = append(params, nil)
+			ptypes = append(ptypes, t)
+		}
+		for _, name := range field.Names {
+			params = append(params, name)
+			ptypes = append(ptypes, t)
+		}
+	}
+	reducerShaped := len(ptypes) == 3 &&
+		lintutil.IsByteSlice(ptypes[0]) &&
+		lintutil.SliceOfNamed(ptypes[1], "mr", "Message") &&
+		lintutil.PtrToNamed(ptypes[2], "mr", "Output")
+	emitShaped := len(ptypes) == 2 &&
+		lintutil.IsByteSlice(ptypes[0]) &&
+		lintutil.NamedType(ptypes[1], "mr", "Message") &&
+		pass.Pkg.Name() != "mr" // the engine implements Emit and owns the arena
+	if !reducerShaped && !emitShaped {
+		return nil
+	}
+	owned := make(map[types.Object]string)
+	add := func(id *ast.Ident, label string) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			owned[obj] = label
+		}
+	}
+	add(params[0], "key")
+	if reducerShaped {
+		add(params[1], "msgs")
+	}
+	return owned
+}
+
+// checker tracks the taint state for one callback body.
+type checker struct {
+	pass  *analysis.Pass
+	body  *ast.BlockStmt
+	taint map[types.Object]string // tainted object → owned-param label it aliases
+}
+
+func checkCallback(pass *analysis.Pass, body *ast.BlockStmt, owned map[types.Object]string) {
+	c := &checker{pass: pass, body: body, taint: make(map[types.Object]string)}
+	for obj, label := range owned {
+		c.taint[obj] = label
+	}
+	// Pass 1 propagates taint through local aliases (run twice so a
+	// loop-carried alias assigned below its first use is still seen);
+	// pass 2 reports escaping stores.
+	c.scan(false)
+	c.scan(false)
+	c.scan(true)
+}
+
+func (c *checker) scan(report bool) {
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals run synchronously unless launched by a
+			// go statement (handled at the GoStmt below); don't
+			// descend — their own reducer/emit shapes are matched
+			// independently by run.
+			return false
+		case *ast.AssignStmt:
+			c.assign(stmt, report)
+		case *ast.GoStmt:
+			if report {
+				c.goStmt(stmt)
+			}
+			return false
+		case *ast.SendStmt:
+			if label := c.taintLabel(stmt.Value); report && label != "" {
+				c.escape(stmt.Value.Pos(), label, "sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range stmt.Results {
+				if label := c.taintLabel(r); report && label != "" {
+					c.escape(r.Pos(), label, "returned")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign handles one assignment statement: propagating taint into
+// local variables and reporting stores into locations that outlive
+// the callback.
+func (c *checker) assign(stmt *ast.AssignStmt, report bool) {
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		return // multi-value call results are never tainted
+	}
+	for i, lhs := range stmt.Lhs {
+		label := c.taintLabel(stmt.Rhs[i])
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if c.localVar(obj) || c.taint[obj] != "" {
+				// Local (or re-assigned owned param): track.
+				if label != "" {
+					c.taint[obj] = label
+				} else {
+					delete(c.taint, obj)
+				}
+				continue
+			}
+			if label != "" && report {
+				c.escape(stmt.Pos(), label, "assigned to a variable that outlives the callback")
+			}
+			continue
+		}
+		if label == "" {
+			continue
+		}
+		if report && !c.localStore(lhs) {
+			c.escape(stmt.Pos(), label, "stored in a location that outlives the callback")
+		}
+	}
+}
+
+// goStmt reports owned slices crossing into a goroutine, which
+// outlives (or races with) the callback's buffer reuse.
+func (c *checker) goStmt(stmt *ast.GoStmt) {
+	if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+		free := lintutil.FreeObjects(c.pass.TypesInfo, lit, func(o types.Object) bool {
+			return c.taint[o] != ""
+		})
+		for obj, ids := range free {
+			c.escape(ids[0].Pos(), c.taint[obj], "captured by a goroutine")
+		}
+	}
+	for _, arg := range stmt.Call.Args {
+		if label := c.taintLabel(arg); label != "" {
+			c.escape(arg.Pos(), label, "passed to a goroutine")
+		}
+	}
+}
+
+// taintLabel reports which owned parameter (if any) expression e still
+// aliases. Copies break the alias: string conversions, element reads,
+// and spread-appends produce fresh memory and return "".
+func (c *checker) taintLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil {
+			return c.taint[obj]
+		}
+	case *ast.SliceExpr:
+		return c.taintLabel(e.X) // key[1:] still points into the arena
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return c.taintLabel(e.X)
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if label := c.taintLabel(elt); label != "" {
+				return label
+			}
+		}
+	case *ast.CallExpr:
+		// append(dst, alias) keeps the alias; append(dst, alias...)
+		// copies the elements and is the sanctioned idiom.
+		if b, ok := c.pass.TypesInfo.Uses[builtinIdent(e.Fun)].(*types.Builtin); ok && b.Name() == "append" {
+			if !e.Ellipsis.IsValid() {
+				for _, arg := range e.Args[1:] {
+					if label := c.taintLabel(arg); label != "" {
+						return label
+					}
+				}
+			}
+			// The backing array of dst may itself be tainted.
+			if len(e.Args) > 0 {
+				return c.taintLabel(e.Args[0])
+			}
+		}
+	}
+	return ""
+}
+
+// builtinIdent unwraps fun to an identifier for builtin resolution
+// (nil-safe: Uses lookups on nil return nothing).
+func builtinIdent(fun ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(fun).(*ast.Ident)
+	return id
+}
+
+// localStore reports whether lvalue lhs writes through a variable
+// declared inside the callback body (so the store cannot outlive it at
+// this analysis depth).
+func (c *checker) localStore(lhs ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Defs[e]
+			}
+			return obj != nil && c.localVar(obj)
+		default:
+			return false
+		}
+	}
+}
+
+// localVar reports whether obj is declared inside the callback body —
+// note a method receiver or captured variable is not, which is exactly
+// what makes `r.last = key` the classic violation.
+func (c *checker) localVar(obj types.Object) bool {
+	return obj.Pos().IsValid() && c.body.Pos() <= obj.Pos() && obj.Pos() < c.body.End()
+}
+
+func (c *checker) escape(pos token.Pos, label, how string) {
+	what := "the arena-owned key []byte"
+	fix := "copy it first (string(key) or append([]byte(nil), key...))"
+	if label == "msgs" {
+		what = "the reused msgs []Message slice"
+		fix = "copy the slice (append([]Message(nil), msgs...)); individual Message values may be retained"
+	}
+	c.pass.Reportf(pos, "%s %s: it is engine-owned and reused after the callback returns; %s", what, how, fix)
+}

@@ -1,0 +1,12 @@
+package keyretain_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/keyretain"
+)
+
+func TestKeyRetain(t *testing.T) {
+	analysistest.Run(t, "../testdata", keyretain.Analyzer, "lintest/keyretain")
+}

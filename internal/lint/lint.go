@@ -1,0 +1,34 @@
+// Package lint assembles the gumbo-lint analyzer suite: the
+// project-specific static checks that machine-enforce the engine's
+// documented ownership, determinism and scheduling contracts
+// (docs/INVARIANTS.md maps each contract to its analyzer and fix
+// recipe).
+//
+// The suite runs three ways, all over the same driver:
+//
+//	go run ./cmd/gumbo-lint ./...          # multichecker, CI gate
+//	go vet -vettool=$(bin) ./...           # vet integration
+//	go test ./internal/lint/...            # analysistest suites
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/deprecatedknob"
+	"repro/internal/lint/keyretain"
+	"repro/internal/lint/mapiter"
+	"repro/internal/lint/rawgo"
+	"repro/internal/lint/readset"
+	"repro/internal/lint/taskblock"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		deprecatedknob.Analyzer,
+		keyretain.Analyzer,
+		mapiter.Analyzer,
+		rawgo.Analyzer,
+		readset.Analyzer,
+		taskblock.Analyzer,
+	}
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// TestLintRepo dogfoods the full suite over the real tree: the repo
+// must stay finding-free so the CI gate (go run ./cmd/gumbo-lint ./...)
+// never fires on merged code. Skipped under -short: loading every
+// package with test variants typechecks the whole module.
+func TestLintRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load")
+	}
+	pkgs, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	analyzers := lint.Analyzers()
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.ReportFiles)
+		if err != nil {
+			t.Errorf("%s: %v", pkg.ImportPath, err)
+			continue
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Analyzer.Name, d.Message)
+		}
+	}
+}

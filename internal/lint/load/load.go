@@ -1,0 +1,225 @@
+// Package load turns `go list` package patterns into type-checked
+// packages for the lint driver, using only the standard library and
+// the go command.
+//
+// The usual tool for this is golang.org/x/tools/go/packages; this repo
+// builds offline with no module dependencies, so load reimplements the
+// slice it needs: one `go list -test -deps -export -json` invocation
+// enumerates the target packages and every dependency in post-order
+// (dependencies first), targets are parsed and type-checked from
+// source, and dependencies resolve through the compiler export data
+// the go command just produced (the Export field), read by the
+// standard gc importer's lookup hook. Test variants come along for
+// free: `-test` synthesizes the test-augmented package ("p [p.test]")
+// and the external test package ("p_test [p.test]"), which are
+// type-checked from source like any other target; the augmented
+// variant restricts reporting to its _test.go files so the plain
+// variant's files are not linted twice.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath  string // as reported by go list, e.g. "repro/internal/mr [repro/internal/mr.test]"
+	Name        string
+	Fset        *token.FileSet
+	Files       []*ast.File
+	Types       *types.Package
+	Info        *types.Info
+	ReportFiles map[string]bool // nil = report everywhere; else restrict (test-augmented variants)
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in module directory dir and returns the matched
+// packages (including test variants) type-checked from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-test", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Export,Standard,DepOnly,ForTest,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		checked: make(map[string]*types.Package),
+	}
+	ld.gcImporter = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+
+	var result []*Package
+	for _, p := range pkgs {
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Skip the synthesized test-main binary ("p.test"): its one
+		// GoFile is a generated _testmain.go in the build cache.
+		if strings.HasSuffix(p.ImportPath, ".test") && p.Name == "main" {
+			continue
+		}
+		pkg, err := ld.check(p)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, pkg)
+	}
+	return result, nil
+}
+
+// loader type-checks listed packages in the dependency order go list
+// emitted them, threading one FileSet and one gc importer so type
+// identity is consistent across the whole load.
+type loader struct {
+	fset       *token.FileSet
+	exports    map[string]string         // import path → export data file
+	checked    map[string]*types.Package // go list ImportPath (incl. " [p.test]" variants) → package
+	gcImporter types.Importer
+}
+
+// lookupExport feeds export data files to the gc importer.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// check parses and type-checks one listed package from source.
+func (ld *loader) check(p *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(ld.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, importMap: p.ImportMap},
+	}
+	// The bracketed test-variant suffix is go list bookkeeping, not an
+	// import path: the augmented "p [p.test]" type-checks as path p so
+	// its external test package can import it under that name.
+	path := p.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("package %s: %v", p.ImportPath, err)
+	}
+	ld.checked[p.ImportPath] = tpkg
+
+	pkg := &Package{
+		ImportPath: p.ImportPath,
+		Name:       p.Name,
+		Fset:       ld.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	// Test-augmented variants re-contain the plain variant's files;
+	// restrict their reporting to the test files so diagnostics in
+	// regular files appear exactly once (under the plain variant).
+	if p.ForTest != "" && !strings.HasSuffix(p.Name, "_test") {
+		pkg.ReportFiles = make(map[string]bool)
+		for _, name := range p.GoFiles {
+			if strings.HasSuffix(name, "_test.go") {
+				abs := name
+				if !filepath.IsAbs(abs) {
+					abs = filepath.Join(p.Dir, name)
+				}
+				pkg.ReportFiles[abs] = true
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: source-checked packages
+// first (honoring go list's ImportMap, which routes an external test
+// package's import of "p" to the augmented "p [p.test]" variant), then
+// compiler export data for everything else.
+type pkgImporter struct {
+	ld        *loader
+	importMap map[string]string
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.ld.checked[path]; ok {
+		return pkg, nil
+	}
+	return im.ld.gcImporter.Import(path)
+}

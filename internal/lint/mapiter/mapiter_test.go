@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "../testdata", mapiter.Analyzer, "lintest/mapiter")
+}

@@ -1,0 +1,12 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/rawgo"
+)
+
+func TestRawGo(t *testing.T) {
+	analysistest.Run(t, "../testdata", rawgo.Analyzer, "lintest/rawgo")
+}

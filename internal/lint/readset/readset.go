@@ -1,0 +1,140 @@
+// Package readset enforces the declared-read-set contract on job
+// construction.
+//
+// The pipelined scheduler wires producer→consumer edges per input
+// relation from each job's declared Inputs (mr.Program.ReadSets /
+// core Plan.InputDeps): map tasks over input k start the moment
+// relation k is merged, possibly while the job's other data still
+// doesn't exist. A job whose mapper consults relation data that is not
+// in its declared Inputs therefore races the schedule. Two statically
+// visible violations:
+//
+//   - an mr.Job composite literal that installs a Mapper but declares
+//     no Inputs — the scheduler would release its map tasks with no
+//     producer edges at all;
+//   - a Mapper/Reducer function literal that captures a
+//     relation.Relation or relation.Database from the enclosing scope
+//     at plan time — relation data must flow through declared Inputs,
+//     not through closures (see the mr.Job.Inputs godoc).
+//
+// The transitive-containment test TestPlanDepsCoverInputDeps checks
+// executed plans; this analyzer moves the same contract to lint time
+// for every constructor, run or not.
+package readset
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "readset",
+	Doc:  "flags mr.Job construction whose mapper inputs are not covered by the declared read set (missing Inputs, plan-time relation captures)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[lit].Type
+			if t == nil || !lintutil.NamedType(t, "mr", "Job") {
+				return true
+			}
+			checkJobLit(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkJobLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	var mapper, reducer, inputs ast.Expr
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue // positional Job literals don't occur; field rules need keys
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Mapper":
+			mapper = kv.Value
+		case "Reducer":
+			reducer = kv.Value
+		case "Inputs":
+			inputs = kv.Value
+		}
+	}
+	if mapper != nil && emptyInputs(inputs) {
+		pass.Reportf(lit.Pos(), "mr.Job declares a Mapper but no Inputs: the scheduler derives producer edges from the declared read set, so an undeclared input races the pipeline; declare every relation the mapper reads")
+	}
+	for _, fn := range []ast.Expr{mapper, reducer} {
+		if fn != nil {
+			checkCapture(pass, fn)
+		}
+	}
+}
+
+// emptyInputs reports whether the Inputs field is absent or a
+// statically empty slice literal.
+func emptyInputs(inputs ast.Expr) bool {
+	if inputs == nil {
+		return true
+	}
+	if cl, ok := ast.Unparen(inputs).(*ast.CompositeLit); ok {
+		return len(cl.Elts) == 0
+	}
+	return false
+}
+
+// checkCapture reports relation-typed free variables of a mapper or
+// reducer function literal (unwrapping MapperFunc/ReducerFunc
+// conversions).
+func checkCapture(pass *analysis.Pass, fn ast.Expr) {
+	fn = ast.Unparen(fn)
+	if call, ok := fn.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		// MapperFunc(lit) / ReducerFunc(lit) conversions.
+		if t := pass.TypesInfo.Types[call.Fun].Type; t != nil &&
+			(lintutil.NamedType(t, "mr", "MapperFunc") || lintutil.NamedType(t, "mr", "ReducerFunc")) {
+			fn = ast.Unparen(call.Args[0])
+		}
+	}
+	lit, ok := fn.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	free := lintutil.FreeObjects(pass.TypesInfo, lit, func(o types.Object) bool {
+		if _, isVar := o.(*types.Var); !isVar {
+			return false
+		}
+		return isRelationData(o.Type())
+	})
+	for obj, ids := range free {
+		pass.Reportf(ids[0].Pos(), "mapper/reducer closure captures %s %q at plan time: relation data must flow through the job's declared Inputs so the scheduler's producer edges cover every read (see mr.Job.Inputs)", typeLabel(obj.Type()), obj.Name())
+	}
+}
+
+// isRelationData matches the relation-store types whose capture breaks
+// the read-set contract.
+func isRelationData(t types.Type) bool {
+	return lintutil.NamedType(t, "relation", "Relation") ||
+		lintutil.PtrToNamed(t, "relation", "Relation") ||
+		lintutil.NamedType(t, "relation", "Database") ||
+		lintutil.PtrToNamed(t, "relation", "Database")
+}
+
+func typeLabel(t types.Type) string {
+	if lintutil.NamedType(t, "relation", "Database") || lintutil.PtrToNamed(t, "relation", "Database") {
+		return "database"
+	}
+	return "relation"
+}

@@ -1,0 +1,12 @@
+package readset_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/readset"
+)
+
+func TestReadSet(t *testing.T) {
+	analysistest.Run(t, "../testdata", readset.Analyzer, "lintest/readset")
+}

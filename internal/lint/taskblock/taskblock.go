@@ -1,0 +1,208 @@
+// Package taskblock flags blocking operations inside taskPool task
+// closures.
+//
+// The engine's work-stealing pool (internal/mr/pool.go) detects
+// quiescence by counting task completions on a fixed set of worker
+// goroutines. A task that blocks — a channel send or receive, a
+// select with no default, sync.WaitGroup.Wait or sync.Cond.Wait —
+// parks a worker without returning it to the scheduler; if the work it
+// waits for is itself queued pool work, the pool deadlocks (all
+// workers parked, runnable tasks never picked up). Tasks must instead
+// join sub-work with counters and spawn follow-ups (see jobrun.go's
+// counter-joined phases). Spawning while holding a mutex is flagged
+// too: a stolen task contending on that mutex serializes the pool
+// behind the spawner.
+//
+// Task closures are identified by signature: any function whose single
+// parameter is a *poolCtx (the poolTask shape).
+package taskblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "taskblock",
+	Doc:  "flags blocking operations (channel ops, WaitGroup.Wait, mutex-held spawn) inside taskPool task closures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body != nil && isTaskShaped(pass, ftype) {
+				checkTask(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTaskShaped reports whether ftype has the poolTask signature: one
+// parameter of type *poolCtx.
+func isTaskShaped(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil || len(ftype.Params.List) != 1 {
+		return false
+	}
+	field := ftype.Params.List[0]
+	if len(field.Names) > 1 {
+		return false
+	}
+	t := pass.TypesInfo.Types[field.Type].Type
+	return t != nil && lintutil.PtrToNamed(t, "mr", "poolCtx")
+}
+
+// checkTask walks one task body. Function literals are only descended
+// when invoked inline: a literal handed to `go` or stored for later
+// runs on its own goroutine and may block freely.
+func checkTask(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := newHeldLocks()
+	// Comm statements of a select are the select's blocking points,
+	// reported (or excused by a default case) at the select itself,
+	// not as individual channel operations.
+	commStmts := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if commStmts[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The goroutine body may block; only the task itself must
+			// not park its worker.
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a pool task blocks a worker: the pool's quiescence detection counts only returning tasks; join sub-work with counters and spawn follow-ups instead")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive inside a pool task blocks a worker: the pool's quiescence detection counts only returning tasks; join sub-work with counters and spawn follow-ups instead")
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				pass.Reportf(n.Pos(), "select without default inside a pool task blocks a worker; use a non-blocking poll (default case) or counter joins")
+			}
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					commStmts[cc.Comm] = true
+				}
+			}
+		case *ast.CallExpr:
+			f := lintutil.FuncObj(pass.TypesInfo, n)
+			switch {
+			case lintutil.IsMethodOn(f, "sync", "WaitGroup", "Wait"),
+				lintutil.IsMethodOn(f, "sync", "Cond", "Wait"):
+				pass.Reportf(n.Pos(), "sync.%s.Wait inside a pool task parks a worker outside the scheduler; if the awaited work is pool work this deadlocks quiescence — join with counters and spawn instead", recvName(f))
+			case f != nil && f.Name() == "spawn" && held.any():
+				pass.Reportf(n.Pos(), "spawn while holding %s: a stolen task contending on the lock serializes the pool behind this worker; release the lock before spawning", held.first())
+			}
+			held.observe(pass, n)
+		}
+		return true
+	})
+}
+
+// heldLocks tracks mutexes locked lexically earlier in the walk and
+// not yet unlocked. Lock/Unlock pairing is approximated textually on
+// the receiver expression, which matches the straight-line critical
+// sections task code uses; a deferred Unlock leaves the lock held for
+// the rest of the walk, as it is at run time.
+type heldLocks struct {
+	order []string
+	held  map[string]bool
+}
+
+func newHeldLocks() *heldLocks { return &heldLocks{held: make(map[string]bool)} }
+
+func (h *heldLocks) any() bool { return len(h.order) > 0 }
+
+func (h *heldLocks) first() string {
+	if len(h.order) == 0 {
+		return ""
+	}
+	return h.order[0]
+}
+
+// observe updates the held set when call is a Lock/Unlock on a sync
+// mutex.
+func (h *heldLocks) observe(pass *analysis.Pass, call *ast.CallExpr) {
+	f := lintutil.FuncObj(pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	locking := false
+	switch f.Name() {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return
+	}
+	if !isMutexMethod(f) {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := types.ExprString(sel.X)
+	if locking {
+		if !h.held[recv] {
+			h.held[recv] = true
+			h.order = append(h.order, recv)
+		}
+		return
+	}
+	if h.held[recv] {
+		delete(h.held, recv)
+		for i, r := range h.order {
+			if r == recv {
+				h.order = append(h.order[:i:i], h.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func isMutexMethod(f *types.Func) bool {
+	return lintutil.IsMethodOn(f, "sync", "Mutex", f.Name()) ||
+		lintutil.IsMethodOn(f, "sync", "RWMutex", f.Name())
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recvName names f's receiver type for diagnostics.
+func recvName(f *types.Func) string {
+	sig := f.Type().(*types.Signature)
+	rt := sig.Recv().Type()
+	if ptr, ok := types.Unalias(rt).(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	if named, ok := types.Unalias(rt).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return rt.String()
+}

@@ -1,0 +1,12 @@
+package taskblock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/taskblock"
+)
+
+func TestTaskBlock(t *testing.T) {
+	analysistest.Run(t, "../testdata", taskblock.Analyzer, "lintest/taskblock")
+}

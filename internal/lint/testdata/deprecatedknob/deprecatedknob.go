@@ -1,0 +1,38 @@
+// Testdata for the deprecatedknob analyzer: retired knob surfaces and
+// -jobs flag registrations.
+package deprecatedknob
+
+import (
+	"flag"
+
+	"lintest/gumbo"
+)
+
+func options() []gumbo.Option {
+	return []gumbo.Option{
+		gumbo.WithHostWorkers(8),
+		gumbo.WithHostParallelism(4, 2), // want `WithHostParallelism is a deprecated knob`
+	}
+}
+
+var jobs = flag.Int("jobs", 1, "old knob") // want `registering a -jobs flag`
+
+var workers = flag.Int("workers", 1, "the knob")
+
+func registerFlags(fs *flag.FlagSet) {
+	var n int
+	fs.IntVar(&n, "jobs", 1, "old knob")                                 // want `registering a -jobs flag`
+	flag.StringVar(new(string), "jobs", "", "old knob even as a string") // want `registering a -jobs flag`
+	fs.IntVar(&n, "workers", 1, "the knob")
+}
+
+// An unrelated local that happens to share a retired name is not a knob
+// surface.
+func unrelated() int {
+	JobParallelism := 3
+	return JobParallelism
+}
+
+func shimmed() gumbo.Option {
+	return gumbo.WithHostParallelism(2, 2) //lint:ignore deprecatedknob testdata: pins that suppression silences the finding
+}

@@ -1,0 +1,3 @@
+module lintest
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package gumbo is a miniature of the repro root package for the
+// deprecatedknob analyzer tests (see lintest/mr).
+package gumbo
+
+type Option func()
+
+func WithHostWorkers(workers int) Option { return func() {} }
+
+// Deprecated: use WithHostWorkers.
+func WithHostParallelism(phaseWorkers, concurrentJobs int) Option {
+	return WithHostWorkers(phaseWorkers * concurrentJobs)
+}

@@ -1,0 +1,65 @@
+// Testdata for the keyretain analyzer: reducer- and emit-shaped
+// callbacks retaining the engine-owned key/msgs slices.
+package keyretain
+
+import "lintest/mr"
+
+type sink struct {
+	last []byte
+	msgs []mr.Message
+	keys [][]byte
+	byID map[string][]byte
+}
+
+// Reduce has the reducer shape: ([]byte, []mr.Message, *mr.Output).
+func (s *sink) Reduce(key []byte, msgs []mr.Message, out *mr.Output) {
+	s.last = key                         // want `arena-owned key \[\]byte stored`
+	s.msgs = msgs                        // want `reused msgs \[\]Message slice stored`
+	s.keys = append(s.keys, key)         // want `arena-owned key \[\]byte stored`
+	s.last = append([]byte(nil), key...) // copies: the sanctioned idiom
+	s.msgs = append([]mr.Message(nil), msgs...)
+	s.byID[string(key)] = append([]byte(nil), key...) // string(key) copies too
+
+	k2 := key[1:] // a slice of the key still aliases the arena
+	s.last = k2   // want `arena-owned key \[\]byte stored`
+
+	one := msgs[0] // individual messages are immutable and retainable
+	_ = one
+
+	go logKey(key)           // want `arena-owned key \[\]byte passed to a goroutine`
+	go func() { use(key) }() // want `arena-owned key \[\]byte captured by a goroutine`
+
+	ch := make(chan []byte, 1)
+	ch <- key // want `arena-owned key \[\]byte sent on a channel`
+
+	local := map[string][]byte{}
+	local[string(key)] = key // local map dies with the callback
+	use(local[""])
+}
+
+// reducerFuncLit exercises the ReducerFunc literal form.
+var reducerFuncLit = mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
+	retained = key // want `arena-owned key \[\]byte assigned`
+	use(string(key))
+})
+
+var retained []byte
+
+// wrapEmit exercises the emit shape ([]byte, mr.Message): a mapper-side
+// emit wrapper may not retain the caller's reused key buffer.
+func wrapEmit(emit mr.Emit, seen *[][]byte) mr.Emit {
+	return func(key []byte, msg mr.Message) {
+		*seen = append(*seen, key) // want `arena-owned key \[\]byte stored`
+		emit(key, msg)             // synchronous passthrough is fine
+	}
+}
+
+// suppressed pins the //lint:ignore machinery: no want comment, so an
+// unsuppressed diagnostic here fails the suite.
+var suppressed = mr.ReducerFunc(func(key []byte, msgs []mr.Message, out *mr.Output) {
+	retained = key //lint:ignore keyretain testdata: pins that suppression silences the finding
+})
+
+func use(any) {}
+
+func logKey([]byte) {}

@@ -1,0 +1,53 @@
+// Package mr is a miniature of repro/internal/mr carrying exactly the
+// shapes the gumbo-lint analyzers match on (package name + type names
+// + signatures). The analyzers are tested against these stubs so the
+// suites stay hermetic and fast; the real engine types must keep these
+// shapes or the matchers drift (TestLintRepo dogfoods the real tree).
+package mr
+
+import "lintest/relation"
+
+type Message interface{ SizeBytes() int64 }
+
+type Emit func(key []byte, msg Message)
+
+type Output struct{}
+
+func (o *Output) Add(name string, t relation.Tuple) {}
+
+type Mapper interface {
+	Map(input string, id int, t relation.Tuple, emit Emit)
+}
+
+type MapperFunc func(input string, id int, t relation.Tuple, emit Emit)
+
+func (f MapperFunc) Map(input string, id int, t relation.Tuple, emit Emit) { f(input, id, t, emit) }
+
+type Reducer interface {
+	Reduce(key []byte, msgs []Message, out *Output)
+}
+
+type ReducerFunc func(key []byte, msgs []Message, out *Output)
+
+func (f ReducerFunc) Reduce(key []byte, msgs []Message, out *Output) { f(key, msgs, out) }
+
+type Job struct {
+	Name    string
+	Inputs  []string
+	Outputs map[string]int
+	Mapper  Mapper
+	Reducer Reducer
+}
+
+type PartStats struct {
+	Input   string
+	InterMB float64
+	Records int64
+}
+
+type JobStats struct {
+	Name     string
+	Parts    []PartStats
+	OutputMB float64
+	Reducers int
+}

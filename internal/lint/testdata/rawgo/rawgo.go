@@ -1,0 +1,16 @@
+// Testdata for the rawgo analyzer. The package is named mr because the
+// check is scoped to the engine package.
+package mr
+
+func worker(id int) {}
+
+func fanOut() {
+	for i := 0; i < 4; i++ {
+		go worker(i) // want `raw goroutine in the engine package`
+	}
+}
+
+func sanctioned() {
+	//lint:ignore rawgo testdata: pins that suppression covers the next line
+	go worker(0)
+}

@@ -1,0 +1,26 @@
+// Package relation is a miniature of repro/internal/relation for the
+// analyzer test suites (see lintest/mr).
+package relation
+
+type Value int64
+
+type Tuple []Value
+
+type Relation struct {
+	name   string
+	tuples []Tuple
+}
+
+func New(name string, arity int) *Relation { return &Relation{name: name} }
+
+func (r *Relation) Add(t Tuple) { r.tuples = append(r.tuples, t) }
+
+func (r *Relation) AddAll(o *Relation) { r.tuples = append(r.tuples, o.tuples...) }
+
+func (r *Relation) Contains(t Tuple) bool { return false }
+
+type Database struct {
+	rels map[string]*Relation
+}
+
+func (db *Database) Get(name string) *Relation { return db.rels[name] }

@@ -1,0 +1,65 @@
+// Testdata for the taskblock analyzer. The package is named mr like
+// the engine package because poolCtx is unexported there: task
+// closures can only exist inside the package that defines the pool.
+package mr
+
+import "sync"
+
+type poolCtx struct{ pool *taskPool }
+
+func (c *poolCtx) spawn(fn func(*poolCtx)) {}
+
+type taskPool struct {
+	mu sync.Mutex
+}
+
+func buildTasks(ch chan int, wg *sync.WaitGroup, mu *sync.Mutex, done *int) func(*poolCtx) {
+	return func(c *poolCtx) {
+		ch <- 1   // want `channel send inside a pool task`
+		<-ch      // want `channel receive inside a pool task`
+		wg.Wait() // want `sync.WaitGroup.Wait inside a pool task`
+
+		select { // want `select without default inside a pool task`
+		case v := <-ch:
+			_ = v
+		}
+
+		// Non-blocking poll: legal.
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+
+		mu.Lock()
+		c.spawn(func(c *poolCtx) {}) // want `spawn while holding mu`
+		mu.Unlock()
+		c.spawn(func(c *poolCtx) {}) // lock released: legal
+
+		// A goroutine launched from a task owns its own stack and may
+		// block; only the task itself must not.
+		go func() { <-ch }()
+
+		*done++
+	}
+}
+
+// condWait is task-shaped via the named parameter form.
+func condWait(c *poolCtx, cond *sync.Cond) {
+	_ = func(c *poolCtx) {
+		cond.Wait() // want `sync.Cond.Wait inside a pool task`
+	}
+}
+
+// notTasks: blocking operations outside task closures are fine.
+func notTasks(ch chan int, wg *sync.WaitGroup) {
+	ch <- 1
+	<-ch
+	wg.Wait()
+}
+
+func suppressed(ch chan int) func(*poolCtx) {
+	return func(c *poolCtx) {
+		<-ch //lint:ignore taskblock testdata: pins that suppression silences the finding
+	}
+}
