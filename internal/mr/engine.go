@@ -197,6 +197,7 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//lint:ignore rawgo parallelFor is a sanctioned concurrency primitive: helpers are wg-joined before return and panics surface via the barrier
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {

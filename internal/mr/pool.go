@@ -235,6 +235,7 @@ func runTasks(workers int, seed poolTask) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//lint:ignore rawgo runTasks IS the sanctioned primitive: these are the pool's worker loops, wg-joined below, with task panics re-raised by the abort path
 		go func(id int) {
 			defer wg.Done()
 			c := &poolCtx{pool: p, id: id}
