@@ -31,7 +31,7 @@ func main() {
 	// Registered for compatibility; the unified task scheduler has no
 	// separate job level, so the value is unused (a warning is printed
 	// below when the flag is set explicitly).
-	flag.Int("jobs", 0, "deprecated: ignored; use -workers")
+	flag.Int("jobs", 0, "deprecated: ignored; use -workers") //lint:ignore deprecatedknob compatibility shim: keeps old invocations parsing while the warning below steers users to -workers
 	flag.Parse()
 
 	if *list {

@@ -28,8 +28,9 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "engine worker pool for all plan tasks (0 = GOMAXPROCS)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "engine worker pool for all plan tasks (0 = GOMAXPROCS)")
+		//lint:ignore deprecatedknob -jobs here is admission control (concurrent plans at the service layer), not the retired engine parallelism knob
 		jobs        = flag.Int("jobs", 0, "admission capacity: concurrently executing plans (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 128, "plan-cache capacity (entries)")
 		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (negative disables batching)")
