@@ -120,8 +120,18 @@ type taskPool struct {
 // spawn schedules fn onto worker `from`'s deque and wakes a sleeper if
 // one is parked. The pending count is raised before the task becomes
 // visible, so the pool cannot reach quiescence with fn still queued.
+//
+// Spawning on a quiescent pool — a poolCtx retained past runTasks — is
+// misuse: the workers are gone and fn would sit queued forever. It
+// panics rather than losing the task silently. (Detection is
+// best-effort: it cannot race with a legitimate spawn, because those
+// happen inside a running task, which holds pending > 0.)
 func (p *taskPool) spawn(from int, fn poolTask) {
 	p.pendingMu.Lock()
+	if p.pending == 0 && p.stopped.Load() {
+		p.pendingMu.Unlock()
+		panic("mr: taskPool.spawn after quiescence: poolCtx used outside its runTasks call")
+	}
 	p.pending++
 	p.pendingMu.Unlock()
 	p.deques[from].push(fn)

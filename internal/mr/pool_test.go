@@ -2,6 +2,7 @@ package mr
 
 import (
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -76,4 +77,48 @@ func TestPoolPanicAbandonsQueuedTasks(t *testing.T) {
 	if ran.Load() != 0 {
 		t.Errorf("%d queued tasks ran after the pool aborted", ran.Load())
 	}
+}
+
+// TestPoolPanicValueAcrossSteal pins re-raise fidelity: the value a
+// stolen task panics with reaches the runTasks caller unwrapped — the
+// identical value, not a copy or a formatted rendering — even though
+// the panic crosses from the thief worker to the caller's goroutine.
+func TestPoolPanicValueAcrossSteal(t *testing.T) {
+	type boom struct{ code int }
+	val := &boom{code: 42}
+	var started atomic.Bool
+	defer func() {
+		if v := recover(); v != val {
+			t.Fatalf("recovered %#v, want the original panic value %p", v, val)
+		}
+	}()
+	runTasks(2, func(c *poolCtx) {
+		c.spawn(func(c *poolCtx) {
+			started.Store(true)
+			panic(val)
+		})
+		// Spin (no blocking ops in a pool task) until the sibling runs:
+		// this worker is busy, so only a thief can have started it.
+		for !started.Load() {
+			runtime.Gosched()
+		}
+	})
+	t.Fatal("runTasks returned without re-raising the task panic")
+}
+
+// TestPoolSpawnAfterQuiescencePanics pins misuse detection: a poolCtx
+// retained past its runTasks call must not queue work onto the dead
+// pool silently — the workers are gone and the task would never run.
+func TestPoolSpawnAfterQuiescencePanics(t *testing.T) {
+	var leaked *poolCtx
+	runTasks(2, func(c *poolCtx) { leaked = c })
+	defer func() {
+		v := recover()
+		s, ok := v.(string)
+		if !ok || !strings.Contains(s, "spawn after quiescence") {
+			t.Fatalf("recovered %#v, want the spawn-after-quiescence panic", v)
+		}
+	}()
+	leaked.spawn(func(c *poolCtx) {})
+	t.Fatal("spawn on a quiescent pool returned normally")
 }
