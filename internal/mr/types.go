@@ -56,7 +56,9 @@ func (p Packed) SizeBytes() int64 {
 // it into a per-map-task arena before Emit returns, so the mapper may
 // (and should) reuse its key buffer for the next record. msg, by
 // contrast, is retained by reference and must be immutable after
-// emission (see Message).
+// emission (see Message). The mirror-image rule for emit-shaped
+// wrappers — do not retain the caller's key buffer — is enforced by
+// the keyretain analyzer (docs/INVARIANTS.md).
 type Emit func(key []byte, msg Message)
 
 // Mapper processes one input fact. The same Mapper instance is used
@@ -81,7 +83,8 @@ func (f MapperFunc) Map(input string, id int, t relation.Tuple, emit Emit) { f(i
 // live in an engine arena, so implementations must not mutate the key
 // or retain either slice after Reduce returns (copy the key if needed;
 // individual messages are immutable after emission and may be
-// retained).
+// retained). This contract is enforced by the keyretain analyzer —
+// see docs/INVARIANTS.md for the catalog and fix recipes.
 type Reducer interface {
 	Reduce(key []byte, msgs []Message, out *Output)
 }
