@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# lint.sh — the repo's static-analysis gate, exactly what CI's lint job
+# runs: gofmt (no unformatted files), go vet, and the project's own
+# gumbo-lint analyzer suite (see docs/INVARIANTS.md for the contracts
+# it enforces and the //lint:ignore suppression protocol).
+#
+# Usage:
+#   scripts/lint.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go run ./cmd/gumbo-lint ./...
+
+echo "lint: OK"
