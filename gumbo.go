@@ -58,6 +58,10 @@ type (
 	// job (per-input N_i/M_i, record counts, output K, task counts,
 	// per-reducer loads).
 	JobStats = mr.JobStats
+	// JobTiming carries the measured host wall-clock spent in one job's
+	// tasks, by kind. Unlike JobStats it is a measurement of the host and
+	// outside the determinism contract.
+	JobTiming = mr.JobTiming
 	// CostConfig holds the MapReduce cost-model constants (Table 1/5).
 	CostConfig = cost.Config
 	// Strategy selects an evaluation strategy.
@@ -208,6 +212,10 @@ type Result struct {
 	// JobStats holds the per-job measurements behind Metrics, in
 	// plan-declared job order (schedule-independent).
 	JobStats []JobStats
+	// JobTimings holds the measured per-job task wall-clock aligned with
+	// JobStats. Host measurements: they vary run to run and are excluded
+	// from the determinism contract.
+	JobTimings []JobTiming
 	// Plan describes the executed MR program.
 	Plan *Plan
 }
@@ -353,11 +361,12 @@ func (s *System) runPlan(inner *core.Plan, output string, db *Database) (*Result
 		return nil, err
 	}
 	return &Result{
-		Relation: res.Outputs.Relation(output),
-		Outputs:  res.Outputs,
-		Metrics:  res.Metrics,
-		JobStats: res.JobStats,
-		Plan:     &Plan{inner: inner, output: output},
+		Relation:   res.Outputs.Relation(output),
+		Outputs:    res.Outputs,
+		Metrics:    res.Metrics,
+		JobStats:   res.JobStats,
+		JobTimings: res.Timings,
+		Plan:       &Plan{inner: inner, output: output},
 	}, nil
 }
 

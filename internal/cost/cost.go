@@ -154,16 +154,25 @@ func (c Config) Reducers(interMB float64) int {
 	return r
 }
 
-// MergeMap computes merge_map(M_i): the sort/merge cost in the map phase
-// for intermediate size mi produced by `mappers` map tasks with metadata
-// size mhat (all MB).
-func (c Config) MergeMap(mi, mhat float64, mappers int) float64 {
+// mapMergeVolume returns the map-side merge volume V_i = M_i ·
+// merge-passes: the MB that flow through the external sort's local
+// read+write during the map phase. MergeMap prices it at lr+lw per MB;
+// the calibration fit (Fit) uses the volume directly as the feature the
+// lumped lr+lw coefficient multiplies.
+func (c Config) mapMergeVolume(mi, mhat float64, mappers int) float64 {
 	if mi <= 0 || c.BufMapMB <= 0 {
 		return 0
 	}
 	perMapper := (mi + mhat) / float64(mappers)
 	runs := math.Ceil(perMapper / c.BufMapMB)
-	return (c.LocalRead + c.LocalWrite) * mi * c.mergePasses(runs)
+	return mi * c.mergePasses(runs)
+}
+
+// MergeMap computes merge_map(M_i): the sort/merge cost in the map phase
+// for intermediate size mi produced by `mappers` map tasks with metadata
+// size mhat (all MB).
+func (c Config) MergeMap(mi, mhat float64, mappers int) float64 {
+	return (c.LocalRead + c.LocalWrite) * c.mapMergeVolume(mi, mhat, mappers)
 }
 
 // MapCost computes cost_map(N_i, M_i) = hr·N_i + merge_map(M_i) + lw·M_i.
@@ -171,15 +180,21 @@ func (c Config) MapCost(ni, mi, mhat float64, mappers int) float64 {
 	return c.HDFSRead*ni + c.MergeMap(mi, mhat, mappers) + c.LocalWrite*mi
 }
 
-// MergeRed computes merge_red(M) for total intermediate size m spread
-// over r reducers.
-func (c Config) MergeRed(m float64, reducers int) float64 {
+// redMergeVolume returns the reduce-side merge volume (see
+// mapMergeVolume) for total intermediate size m over r reducers.
+func (c Config) redMergeVolume(m float64, reducers int) float64 {
 	if m <= 0 || c.BufRedMB <= 0 || reducers < 1 {
 		return 0
 	}
 	perReducer := m / float64(reducers)
 	runs := math.Ceil(perReducer / c.BufRedMB)
-	return (c.LocalRead + c.LocalWrite) * m * c.mergePasses(runs)
+	return m * c.mergePasses(runs)
+}
+
+// MergeRed computes merge_red(M) for total intermediate size m spread
+// over r reducers.
+func (c Config) MergeRed(m float64, reducers int) float64 {
+	return (c.LocalRead + c.LocalWrite) * c.redMergeVolume(m, reducers)
 }
 
 // RedCost computes cost_red(M, K) = t·M + merge_red(M) + hw·K.

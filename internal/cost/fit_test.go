@@ -1,0 +1,218 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthSpecs builds a diverse set of job specs: varying partition
+// counts, input/intermediate/output sizes, with enough large
+// intermediates that the merge-volume feature is exercised.
+func synthSpecs(rng *rand.Rand, n int) []JobSpec {
+	specs := make([]JobSpec, n)
+	for i := range specs {
+		parts := 1 + rng.Intn(3)
+		j := JobSpec{OutputMB: rng.Float64() * 500}
+		for p := 0; p < parts; p++ {
+			j.Partitions = append(j.Partitions, Partition{
+				Name:    fmt.Sprintf("P%d", p),
+				InputMB: 1 + rng.Float64()*2000,
+				InterMB: rng.Float64() * 3000,
+				Records: rng.Int63n(1 << 20),
+			})
+		}
+		specs[i] = j
+	}
+	return specs
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// TestFeaturesDecomposition pins the exact linear decomposition the
+// calibration relies on: JobCost(Gumbo) = Coeffs · Features.
+func TestFeaturesDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := Default()
+	for _, j := range synthSpecs(rng, 50) {
+		want := cfg.JobCost(Gumbo, j)
+		f := cfg.Features(j)
+		co := cfg.Coeffs()
+		got := 0.0
+		for k := range f {
+			got += co[k] * f[k]
+		}
+		if relDiff(got, want) > 1e-12 {
+			t.Fatalf("Coeffs·Features = %v, JobCost = %v", got, want)
+		}
+	}
+}
+
+// TestJobCostMonotonePinnedTasks: with mapper and reducer counts pinned,
+// growing any measured size (input, intermediate, records, output) never
+// makes the job cheaper, under either model. (Task counts must be pinned:
+// a derived mapper-count jump can legitimately drop merge passes.)
+func TestJobCostMonotonePinnedTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		cfg := Default()
+		cfg.LocalRead = rng.Float64()
+		cfg.LocalWrite = rng.Float64()
+		cfg.HDFSRead = rng.Float64()
+		cfg.HDFSWrite = rng.Float64()
+		cfg.Transfer = rng.Float64()
+		cfg.BufMapMB = 10 + rng.Float64()*500
+		cfg.BufRedMB = 10 + rng.Float64()*500
+
+		base := JobSpec{
+			Partitions: []Partition{{
+				InputMB: rng.Float64() * 1000,
+				InterMB: rng.Float64() * 2000,
+				Records: rng.Int63n(1 << 20),
+				Mappers: 1 + rng.Intn(8),
+			}},
+			OutputMB: rng.Float64() * 300,
+			Reducers: 1 + rng.Intn(6),
+		}
+		grow := func(name string, f func(j JobSpec) JobSpec) {
+			bigger := f(base)
+			for _, m := range []Model{Gumbo, Wang} {
+				lo, hi := cfg.JobCost(m, base), cfg.JobCost(m, bigger)
+				if hi < lo-1e-9 {
+					t.Fatalf("trial %d: growing %s made %v job cheaper: %v -> %v", trial, name, m, lo, hi)
+				}
+			}
+		}
+		grow("InputMB", func(j JobSpec) JobSpec {
+			j.Partitions = append([]Partition(nil), j.Partitions...)
+			j.Partitions[0].InputMB += 1 + rng.Float64()*500
+			return j
+		})
+		grow("InterMB", func(j JobSpec) JobSpec {
+			j.Partitions = append([]Partition(nil), j.Partitions...)
+			j.Partitions[0].InterMB += 1 + rng.Float64()*500
+			return j
+		})
+		grow("Records", func(j JobSpec) JobSpec {
+			j.Partitions = append([]Partition(nil), j.Partitions...)
+			j.Partitions[0].Records += rng.Int63n(1 << 20)
+			return j
+		})
+		grow("OutputMB", func(j JobSpec) JobSpec {
+			j.OutputMB += 1 + rng.Float64()*300
+			return j
+		})
+	}
+}
+
+// TestFitRoundTrip: observations generated from a known config are
+// fitted starting from the (different) default constants; the fit must
+// recover the true lumped coefficients and predict held-out jobs.
+func TestFitRoundTrip(t *testing.T) {
+	truth := Default()
+	truth.LocalRead = 0.011
+	truth.LocalWrite = 0.044
+	truth.HDFSRead = 0.21
+	truth.HDFSWrite = 0.37
+	truth.Transfer = 0.009
+	truth.JobOverhead = 3.5
+
+	rng := rand.New(rand.NewSource(99))
+	var obs []Observation
+	for _, j := range synthSpecs(rng, 60) {
+		obs = append(obs, Observation{Spec: j, Seconds: truth.JobCost(Gumbo, j)})
+	}
+	res, err := Fit(Default(), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCo := truth.Coeffs()
+	for k, got := range res.Coeffs {
+		if !res.Fitted[k] {
+			t.Fatalf("coefficient %s unexpectedly unidentifiable", coeffNames[k])
+		}
+		if relDiff(got, wantCo[k]) > 1e-4 {
+			t.Errorf("coefficient %s = %v, want %v", coeffNames[k], got, wantCo[k])
+		}
+	}
+	for _, j := range synthSpecs(rng, 20) { // held out
+		if d := relDiff(res.Config.JobCost(Gumbo, j), truth.JobCost(Gumbo, j)); d > 1e-4 {
+			t.Errorf("held-out prediction off by %v", d)
+		}
+	}
+	if fitted, def := res.Config.MeanAbsRelError(obs), Default().MeanAbsRelError(obs); fitted >= def {
+		t.Errorf("fitted error %v not below default error %v", fitted, def)
+	}
+}
+
+// TestFitDegenerateColumn: when no observation exercises a feature (here
+// K: no job writes output), its coefficient is unidentifiable and must
+// keep the base value.
+func TestFitDegenerateColumn(t *testing.T) {
+	truth := Default()
+	truth.HDFSRead = 0.5
+	rng := rand.New(rand.NewSource(3))
+	var obs []Observation
+	for _, j := range synthSpecs(rng, 30) {
+		j.OutputMB = 0
+		obs = append(obs, Observation{Spec: j, Seconds: truth.JobCost(Gumbo, j)})
+	}
+	base := Default()
+	res, err := Fit(base, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitted[4] {
+		t.Error("hw marked fitted with no output data")
+	}
+	if res.Config.HDFSWrite != base.HDFSWrite {
+		t.Errorf("hw = %v, want base %v", res.Config.HDFSWrite, base.HDFSWrite)
+	}
+	if relDiff(res.Config.HDFSRead, truth.HDFSRead) > 1e-4 {
+		t.Errorf("hr = %v, want %v", res.Config.HDFSRead, truth.HDFSRead)
+	}
+}
+
+// TestFitSplitPreservesSums: however lw+t and lr+lw are split into
+// individual constants, the fitted config's lumped coefficients equal
+// the fitted coefficients — predictions are independent of the split.
+func TestFitSplitPreservesSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	truth := Default()
+	truth.LocalWrite = 0.002 // force the lw cap path: lr+lw fits below base split of lw+t
+	truth.LocalRead = 0.001
+	truth.Transfer = 0.9
+	var obs []Observation
+	for _, j := range synthSpecs(rng, 40) {
+		obs = append(obs, Observation{Spec: j, Seconds: truth.JobCost(Gumbo, j)})
+	}
+	res, err := Fit(Default(), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{res.Config.LocalRead, res.Config.LocalWrite, res.Config.Transfer} {
+		if c < 0 {
+			t.Fatalf("negative constant after split: lr=%v lw=%v t=%v",
+				res.Config.LocalRead, res.Config.LocalWrite, res.Config.Transfer)
+		}
+	}
+	if got, want := res.Config.LocalWrite+res.Config.Transfer, truth.LocalWrite+truth.Transfer; relDiff(got, want) > 1e-4 {
+		t.Errorf("lw+t = %v, want %v", got, want)
+	}
+	if got, want := res.Config.LocalRead+res.Config.LocalWrite, truth.LocalRead+truth.LocalWrite; relDiff(got, want) > 1e-4 {
+		t.Errorf("lr+lw = %v, want %v", got, want)
+	}
+}
+
+func TestFitNoObservations(t *testing.T) {
+	if _, err := Fit(Default(), nil); err == nil {
+		t.Error("Fit with no observations did not error")
+	}
+}

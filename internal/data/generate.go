@@ -29,12 +29,41 @@ type GuardSpec struct {
 	Arity  int
 	Tuples int
 	Domain int64 // values are drawn uniformly from [0, Domain); 0 means 2×Tuples
-	Seed   int64
+	// Zipf, when positive, skews column 0: values are drawn from a Zipf
+	// distribution with exponent 1+Zipf over [0, Domain) instead of
+	// uniformly, so a few low values carry most of the tuples. Requires
+	// Arity ≥ 2 — relations are tuple sets, so skewing a unary relation
+	// could only shrink its distinct-value set, not repeat values.
+	Zipf float64
+	Seed int64
 }
 
-// Generate builds the guard relation. Duplicate draws are re-drawn, so
-// the result has exactly Tuples tuples (requires Domain^Arity ≫ Tuples).
+// tupleCapacity returns min(domain^arity, MaxInt64): the number of
+// distinct tuples a relation over the domain can hold.
+func tupleCapacity(domain int64, arity int) int64 {
+	cap := int64(1)
+	for i := 0; i < arity; i++ {
+		if domain == 0 || cap > maxInt64/domain {
+			return maxInt64
+		}
+		cap *= domain
+	}
+	return cap
+}
+
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// Generate builds the guard relation: exactly Tuples distinct tuples.
+// Duplicate draws are re-drawn, so the spec must be satisfiable —
+// Generate panics up front when Tuples exceeds Domain^Arity (the loop
+// would spin forever), and panics after a bounded number of duplicate
+// redraws when the spec is satisfiable but the distribution leaves too
+// few likely combinations (e.g. extreme Zipf skew over a small domain).
 func (s GuardSpec) Generate() *relation.Relation {
+	r := relation.New(s.Name, s.Arity)
+	if s.Tuples <= 0 {
+		return r
+	}
 	domain := s.Domain
 	if domain == 0 {
 		domain = 2 * int64(s.Tuples)
@@ -42,14 +71,35 @@ func (s GuardSpec) Generate() *relation.Relation {
 	if domain >= missBase {
 		panic(fmt.Sprintf("data: guard domain %d exceeds missBase", domain))
 	}
+	if s.Zipf > 0 && s.Arity < 2 {
+		panic(fmt.Sprintf("data: guard %s: Zipf skew requires Arity ≥ 2 (a unary relation is a distinct-value set)", s.Name))
+	}
+	if c := tupleCapacity(domain, s.Arity); int64(s.Tuples) > c {
+		panic(fmt.Sprintf("data: guard %s cannot hold %d distinct tuples: Domain^Arity = %d^%d allows only %d",
+			s.Name, s.Tuples, domain, s.Arity, c))
+	}
 	rng := rand.New(rand.NewSource(mix(s.Seed, s.Name)))
-	r := relation.New(s.Name, s.Arity)
+	var zipf *rand.Zipf
+	if s.Zipf > 0 {
+		zipf = rand.NewZipf(rng, 1+s.Zipf, 1, uint64(domain-1))
+	}
+	dups := 0
 	for r.Size() < s.Tuples {
 		t := make(relation.Tuple, s.Arity)
 		for i := range t {
-			t[i] = relation.Value(rng.Int63n(domain))
+			if i == 0 && zipf != nil {
+				t[i] = relation.Value(zipf.Uint64())
+			} else {
+				t[i] = relation.Value(rng.Int63n(domain))
+			}
 		}
-		r.Add(t)
+		if !r.Add(t) {
+			dups++
+			if dups > 100*s.Tuples+1000 {
+				panic(fmt.Sprintf("data: guard %s: %d duplicate redraws without reaching %d distinct tuples (Domain %d, Zipf %.2f leave too few likely combinations)",
+					s.Name, dups, s.Tuples, domain, s.Zipf))
+			}
+		}
 	}
 	return r
 }
@@ -72,11 +122,21 @@ type CondSpec struct {
 
 	// OtherDomain is the domain for non-join columns (default: 2×Tuples).
 	OtherDomain int64
-	Seed        int64
+	// Zipf, when positive, skews which guard values the matching tuples
+	// join with: matching join values are picked by a Zipf(1+Zipf) index
+	// into the shuffled distinct guard-column values instead of
+	// uniformly, so a few guard values attract most of the matching
+	// tuples. Requires Arity ≥ 2 — a unary conditional relation is a
+	// distinct-value set and cannot repeat join values.
+	Zipf float64
+	Seed int64
 }
 
 // Generate builds the conditional relation.
 func (s CondSpec) Generate() *relation.Relation {
+	if s.Zipf > 0 && s.Arity < 2 {
+		panic(fmt.Sprintf("data: conditional %s: Zipf skew requires Arity ≥ 2 (a unary relation is a distinct-value set)", s.Name))
+	}
 	rng := rand.New(rand.NewSource(mix(s.Seed, s.Name)))
 	other := s.OtherDomain
 	if other == 0 {
@@ -169,15 +229,29 @@ func (s CondSpec) generateMatching(r *relation.Relation, rng *rand.Rand, other i
 			s.Tuples = int(float64(nMatch)/s.MatchFrac + 0.5)
 		}
 	}
+	var zipf *rand.Zipf
+	if s.Zipf > 0 && len(vals) > 0 {
+		zipf = rand.NewZipf(rng, 1+s.Zipf, 1, uint64(len(vals)-1))
+	}
+	tries := 0
 	for i := 0; i < nMatch; {
 		var v relation.Value
-		if s.Arity == 1 {
+		switch {
+		case s.Arity == 1:
 			v = vals[i]
-		} else {
+		case zipf != nil:
+			v = vals[zipf.Uint64()]
+		default:
 			v = vals[rng.Intn(len(vals))]
 		}
 		if s.addWithJoin(r, rng, other, v) {
 			i++
+		} else {
+			tries++
+			if tries > 100*s.Tuples+1000 {
+				panic(fmt.Sprintf("data: cannot place %d matching tuples in %s (OtherDomain %d too small for the join-value distribution)",
+					nMatch, s.Name, other))
+			}
 		}
 	}
 	s.padMisses(r, rng, other)

@@ -1,7 +1,9 @@
 package data
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/relation"
@@ -111,6 +113,102 @@ func TestMatchRateHelpers(t *testing.T) {
 	}
 	if CondMatchRate(guard, 0, relation.New("E", 1), 0) != 0 {
 		t.Error("empty cond CondMatchRate != 0")
+	}
+}
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one mentioning %q)", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func TestGuardInfeasibleTuplesPanics(t *testing.T) {
+	// Regression: Tuples > Domain^Arity used to spin in the redraw loop
+	// forever; it must fail fast with a clear error instead.
+	mustPanic(t, "cannot hold", func() {
+		GuardSpec{Name: "R", Arity: 1, Tuples: 10, Domain: 5, Seed: 1}.Generate()
+	})
+	mustPanic(t, "cannot hold", func() {
+		GuardSpec{Name: "R", Arity: 2, Tuples: 10, Domain: 3, Seed: 1}.Generate()
+	})
+}
+
+func TestGuardExactCapacityTerminates(t *testing.T) {
+	// Tuples == Domain^Arity is the slowest satisfiable spec (full coupon
+	// collection); it must terminate and enumerate the whole domain.
+	r := GuardSpec{Name: "R", Arity: 1, Tuples: 64, Domain: 64, Seed: 9}.Generate()
+	if r.Size() != 64 {
+		t.Errorf("Size = %d, want 64", r.Size())
+	}
+}
+
+func TestGuardZipfRequiresArity2(t *testing.T) {
+	mustPanic(t, "Zipf", func() {
+		GuardSpec{Name: "R", Arity: 1, Tuples: 10, Zipf: 1, Seed: 1}.Generate()
+	})
+	mustPanic(t, "Zipf", func() {
+		CondSpec{Name: "S", Arity: 1, Tuples: 10, Zipf: 1, Seed: 1}.Generate()
+	})
+}
+
+func TestGuardZipfSkewsColumn0(t *testing.T) {
+	const tuples = 4000
+	spec := GuardSpec{Name: "R", Arity: 2, Tuples: tuples, Domain: 1 << 30, Zipf: 0.8, Seed: 21}
+	r := spec.Generate()
+	if r.Size() != tuples {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if !r.Equal(spec.Generate()) {
+		t.Error("zipf generation is not deterministic")
+	}
+	counts := make(map[relation.Value]int)
+	top := 0
+	for _, tp := range r.Tuples() {
+		counts[tp[0]]++
+		if counts[tp[0]] > top {
+			top = counts[tp[0]]
+		}
+	}
+	// Under the uniform draw every value appears ~once (domain 2^30 ≫
+	// tuples); under Zipf(1.8) the hottest value carries a large share.
+	if top < tuples/20 {
+		t.Errorf("hottest column-0 value appears %d times out of %d; expected heavy skew", top, tuples)
+	}
+	uniform := GuardSpec{Name: "R", Arity: 2, Tuples: tuples, Domain: 1 << 30, Seed: 21}.Generate()
+	if r.Equal(uniform) {
+		t.Error("zipf output identical to uniform output")
+	}
+}
+
+func TestCondZipfSkewsJoinValues(t *testing.T) {
+	guard := GuardSpec{Name: "R", Arity: 2, Tuples: 1000, Domain: 1 << 30, Seed: 3}.Generate()
+	cond := CondSpec{
+		Name: "S", Arity: 2, Tuples: 4000,
+		Guard: guard, Col: 0, MatchFrac: 1.0, Zipf: 0.8, Seed: 11,
+	}.Generate()
+	if got := CondMatchRate(guard, 0, cond, 0); got < 0.95 {
+		t.Fatalf("zipf cond match rate %.3f, want ~1", got)
+	}
+	counts := make(map[relation.Value]int)
+	top := 0
+	for _, tp := range cond.Tuples() {
+		counts[tp[0]]++
+		if counts[tp[0]] > top {
+			top = counts[tp[0]]
+		}
+	}
+	// Uniform picks over 1000 distinct guard values put ~4 tuples on
+	// each; the Zipf head must be far above that.
+	if top < 200 {
+		t.Errorf("hottest join value carries %d of 4000 tuples; expected heavy skew", top)
 	}
 }
 

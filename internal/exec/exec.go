@@ -59,8 +59,13 @@ type Result struct {
 	Plan     *core.Plan
 	Outputs  *relation.Database // every relation the plan produced
 	JobStats []mr.JobStats
-	Metrics  mr.Metrics
-	Sim      cluster.Result
+	// Timings holds the measured per-job task wall-clock, aligned with
+	// JobStats. Host measurements, not modelled quantities: they vary run
+	// to run and are excluded from the determinism contract (see
+	// mr.JobTiming).
+	Timings []mr.JobTiming
+	Metrics mr.Metrics
+	Sim     cluster.Result
 }
 
 // Output returns the relation for the plan's final SGF output (the last
@@ -74,7 +79,7 @@ func (r *Result) Output() *relation.Relation {
 
 // Run executes the plan against db.
 func (r *Runner) Run(plan *core.Plan, db *relation.Database) (*Result, error) {
-	outputs, stats, err := r.Engine.RunProgram(plan.Program(), db)
+	outputs, stats, timings, err := r.Engine.RunProgramTimed(plan.Program(), db)
 	if err != nil {
 		return nil, fmt.Errorf("exec: plan %s: %w", plan.Name, err)
 	}
@@ -117,6 +122,7 @@ func (r *Runner) Run(plan *core.Plan, db *relation.Database) (*Result, error) {
 		Plan:     plan,
 		Outputs:  outputs,
 		JobStats: stats,
+		Timings:  timings,
 		Metrics:  m,
 		Sim:      sim,
 	}, nil

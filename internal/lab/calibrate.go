@@ -1,0 +1,92 @@
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// CalibrationRow is the estimation-vs-actual error of one scenario.
+type CalibrationRow struct {
+	Scenario   string
+	Jobs       int     // observations (jobs) from this scenario
+	Seconds    float64 // total measured task seconds
+	DefaultErr float64 // mean |predicted−measured|/measured under the base config
+	FittedErr  float64 // same under the fitted config
+}
+
+// Calibration is the result of fitting cost.Config constants to the
+// sweep's measurements.
+type Calibration struct {
+	Base         cost.Config
+	Fit          cost.FitResult
+	Rows         []CalibrationRow
+	Observations int
+	DefaultErr   float64 // mean error across all observations, base config
+	FittedErr    float64 // same, fitted config
+}
+
+// BaseCostConfig returns the cost configuration the sweep's systems run
+// under (the defaults at the sweep's scale) — the base config to pass to
+// Calibrate.
+func (c SweepConfig) BaseCostConfig() cost.Config {
+	return cost.Default().Scaled(c.normalized().Scale)
+}
+
+// Calibrate fits the cost model's linear constants to the sweep's
+// width-1 runs: each executed job contributes one observation pairing
+// its measured size spec (JobStats.CostSpec) with its measured summed
+// task wall-clock (JobTiming.TotalSeconds). Width-1 runs are used
+// because a single worker executes tasks back to back — summed task
+// time is undiluted by scheduling overlap. The base config must be the
+// one the sweep ran under (it supplies split/buffer settings for the
+// feature computation).
+func Calibrate(runs []RunRecord, base cost.Config) (*Calibration, error) {
+	var all []cost.Observation
+	byScenario := map[string][]cost.Observation{}
+	var order []string
+	for _, r := range runs {
+		if r.Width != 1 {
+			continue
+		}
+		if len(r.Timings) != len(r.Stats) {
+			return nil, fmt.Errorf("lab: run %s/%s: %d timings for %d stats", r.Scenario, r.Strategy, len(r.Timings), len(r.Stats))
+		}
+		for i, st := range r.Stats {
+			o := cost.Observation{Spec: st.CostSpec(), Seconds: r.Timings[i].TotalSeconds()}
+			all = append(all, o)
+			if _, ok := byScenario[r.Scenario]; !ok {
+				order = append(order, r.Scenario)
+			}
+			byScenario[r.Scenario] = append(byScenario[r.Scenario], o)
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("lab: no width-1 runs to calibrate from")
+	}
+	fit, err := cost.Fit(base, all)
+	if err != nil {
+		return nil, err
+	}
+	cal := &Calibration{
+		Base:         base,
+		Fit:          fit,
+		Observations: len(all),
+		DefaultErr:   base.MeanAbsRelError(all),
+		FittedErr:    fit.Config.MeanAbsRelError(all),
+	}
+	for _, name := range order {
+		obs := byScenario[name]
+		row := CalibrationRow{
+			Scenario:   name,
+			Jobs:       len(obs),
+			DefaultErr: base.MeanAbsRelError(obs),
+			FittedErr:  fit.Config.MeanAbsRelError(obs),
+		}
+		for _, o := range obs {
+			row.Seconds += o.Seconds
+		}
+		cal.Rows = append(cal.Rows, row)
+	}
+	return cal, nil
+}

@@ -1,0 +1,121 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sgf"
+)
+
+// TestGenProgramValid: every generated program validates, parses, and
+// print→reparse round-trips, across many seeds and every shape.
+func TestGenProgramValid(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(1); seed <= 300; seed++ {
+		p, shape := GenProgram(seed, cfg)
+		if err := sgf.Validate(p); err != nil {
+			t.Fatalf("seed %d (%s): invalid: %v\n%s", seed, shape, err, p)
+		}
+		printed := p.String()
+		p2, err := sgf.Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d (%s): reparse failed: %v\n%s", seed, shape, err, printed)
+		}
+		if got := p2.String(); got != printed {
+			t.Fatalf("seed %d (%s): round trip unstable:\n%s\n->\n%s", seed, shape, printed, got)
+		}
+	}
+}
+
+func TestGenProgramDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(1); seed <= 20; seed++ {
+		a, sa := GenProgram(seed, cfg)
+		b, sb := GenProgram(seed, cfg)
+		if sa != sb || a.String() != b.String() {
+			t.Fatalf("seed %d: non-deterministic generation", seed)
+		}
+	}
+}
+
+// TestGenShapes: each shape generator produces its structural
+// signature.
+func TestGenShapes(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(1); seed <= 40; seed++ {
+		// Chain: some query's condition references the previous output.
+		chain := GenShapedProgram(seed, ShapeChain, cfg)
+		if len(chain.Queries) < 2 {
+			t.Fatalf("seed %d: chain has %d queries", seed, len(chain.Queries))
+		}
+		found := false
+		for i := 1; i < len(chain.Queries); i++ {
+			prev := chain.Queries[i-1].Name
+			for _, a := range chain.Queries[i].CondAtoms() {
+				if a.Rel == prev {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: chain without chained reference:\n%s", seed, chain)
+		}
+		// Nested guard: some query's guard is an earlier output.
+		nested := GenShapedProgram(seed, ShapeNestedGuard, cfg)
+		defined := map[string]bool{}
+		found = false
+		for _, q := range nested.Queries {
+			if defined[q.Guard.Rel] {
+				found = true
+			}
+			defined[q.Name] = true
+		}
+		if !found {
+			t.Fatalf("seed %d: nested-guard program without output guard:\n%s", seed, nested)
+		}
+		// Union: at least one query has a disjunctive condition.
+		union := GenShapedProgram(seed, ShapeUnion, cfg)
+		if !strings.Contains(union.String(), " OR ") {
+			t.Fatalf("seed %d: union without OR:\n%s", seed, union)
+		}
+	}
+}
+
+// TestGenScenarioBuild: scenarios build deterministic databases with
+// every base relation present at the configured sizes.
+func TestGenScenarioBuild(t *testing.T) {
+	cfg := DefaultScenarioConfig()
+	cfg.GuardTuples, cfg.CondTuples = 100, 100
+	for seed := int64(1); seed <= 10; seed++ {
+		sc := GenScenario(seed, cfg)
+		db := sc.Build()
+		for _, name := range sc.Program.BaseRelations() {
+			r := db.Relation(name)
+			if r == nil {
+				t.Fatalf("seed %d: base relation %s missing", seed, name)
+			}
+			if r.Size() == 0 {
+				t.Fatalf("seed %d: base relation %s empty", seed, name)
+			}
+		}
+		if !db.Relation(sc.Program.BaseRelations()[0]).Equal(sc.Build().Relation(sc.Program.BaseRelations()[0])) {
+			t.Fatalf("seed %d: Build not deterministic", seed)
+		}
+	}
+}
+
+// TestShapeCoverage: the seed-driven shape draw reaches every shape
+// within a modest seed range (so a sweep over tens of seeds exercises
+// the whole grammar).
+func TestShapeCoverage(t *testing.T) {
+	seen := map[Shape]bool{}
+	for seed := int64(1); seed <= 50; seed++ {
+		_, shape := GenProgram(seed, DefaultGenConfig())
+		seen[shape] = true
+	}
+	for _, s := range AllShapes() {
+		if !seen[s] {
+			t.Errorf("shape %s never generated in 50 seeds", s)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package lab
+
+import (
+	"repro/internal/sgf"
+)
+
+// maxShrinkSteps bounds the greedy descent; each accepted step strictly
+// reduces the scenario, so the bound only guards against a pathological
+// fails predicate.
+const maxShrinkSteps = 200
+
+// Shrink greedily minimizes a failing scenario: it tries candidate
+// reductions in a deterministic order — halving the data, dropping
+// unreferenced queries, replacing a query's condition by one of its
+// direct sub-conditions — and keeps any candidate for which fails still
+// returns true, iterating to a fixpoint. The result is 1-minimal with
+// respect to the candidate moves: no single further reduction still
+// fails. Deterministic given a deterministic predicate.
+func Shrink(s Scenario, fails func(Scenario) bool) Scenario {
+	cur := s
+	for step := 0; step < maxShrinkSteps; step++ {
+		reduced := false
+		for _, cand := range shrinkCandidates(cur) {
+			if sgf.Validate(cand.Program) != nil {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return cur
+		}
+	}
+	return cur
+}
+
+// shrinkCandidates enumerates the single-step reductions of a scenario,
+// cheapest first.
+func shrinkCandidates(s Scenario) []Scenario {
+	var out []Scenario
+	// 1. Halve the data (floor 8 tuples, the smallest size that still
+	// exercises matching).
+	if s.GuardTuples > 8 {
+		c := s
+		c.GuardTuples /= 2
+		out = append(out, c)
+	}
+	if s.CondTuples > 8 {
+		c := s
+		c.CondTuples /= 2
+		out = append(out, c)
+	}
+	// 2. Drop an unreferenced query (a sink), keeping at least one.
+	if len(s.Program.Queries) > 1 {
+		referenced := make(map[string]bool)
+		for _, q := range s.Program.Queries {
+			for _, rel := range q.RelationNames() {
+				referenced[rel] = true
+			}
+		}
+		for i, q := range s.Program.Queries {
+			if referenced[q.Name] {
+				continue
+			}
+			c := s
+			c.Program = s.Program.Clone()
+			c.Program.Queries = append(c.Program.Queries[:i:i], c.Program.Queries[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// 3. Replace a query's condition by one of its direct
+	// sub-conditions.
+	for i, q := range s.Program.Queries {
+		for _, sub := range subConditions(q.Where) {
+			c := s
+			c.Program = s.Program.Clone()
+			c.Program.Queries[i].Where = sub
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// subConditions returns the direct reductions of a condition: each
+// operand of an And/Or, and the operand of a Not. Atoms (and nil) have
+// none.
+func subConditions(c sgf.Condition) []sgf.Condition {
+	switch x := c.(type) {
+	case sgf.And:
+		return append([]sgf.Condition(nil), x.Cs...)
+	case sgf.Or:
+		return append([]sgf.Condition(nil), x.Cs...)
+	case sgf.Not:
+		return []sgf.Condition{x.C}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sgf"
+)
+
+func smallSweepConfig() SweepConfig {
+	cfg := DefaultSweepConfig()
+	cfg.Widths = []int{1, 2}
+	cfg.Shrink = false
+	return cfg
+}
+
+// TestSweepSmallSeeds runs the full differential oracle over a handful
+// of generated scenarios: every strategy and width must agree, with no
+// divergences.
+func TestSweepSmallSeeds(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 2
+	}
+	scfg := DefaultScenarioConfig()
+	scfg.GuardTuples, scfg.CondTuples = 300, 300
+	res := RunSweep(GenScenarios(n, scfg), smallSweepConfig())
+	for _, d := range res.Divergences {
+		t.Errorf("divergence: %s/%s width %d: %s", d.Scenario, d.Strategy, d.Width, d.Detail)
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("no runs recorded")
+	}
+	// Every scenario must execute under at least the three any-program
+	// strategies (they never plan-reject).
+	byScenario := map[string]int{}
+	for _, r := range res.Runs {
+		byScenario[r.Scenario]++
+	}
+	if len(byScenario) != n {
+		t.Errorf("runs recorded for %d scenarios, want %d", len(byScenario), n)
+	}
+	for sc, count := range byScenario {
+		if count < 3*2 {
+			t.Errorf("scenario %s has only %d runs", sc, count)
+		}
+	}
+}
+
+// TestSweepCalibrates: calibration over sweep records fits constants
+// and reports errors no worse than the defaults on its own data.
+func TestSweepCalibrates(t *testing.T) {
+	scfg := DefaultScenarioConfig()
+	scfg.GuardTuples, scfg.CondTuples = 300, 300
+	swcfg := smallSweepConfig()
+	res := RunSweep(GenScenarios(3, scfg), swcfg)
+	base := swcfg.BaseCostConfig()
+	cal, err := Calibrate(res.Runs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Observations == 0 {
+		t.Fatal("no observations")
+	}
+	if cal.FittedErr > cal.DefaultErr {
+		t.Errorf("fitted error %.4f worse than default %.4f", cal.FittedErr, cal.DefaultErr)
+	}
+	if len(cal.Rows) == 0 {
+		t.Error("no per-scenario rows")
+	}
+}
+
+// TestShrinkMinimizes: the shrinker reduces a failing scenario to a
+// minimal one under a synthetic predicate (failure = the program still
+// mentions relation S0 and the guard data is above the floor).
+func TestShrinkMinimizes(t *testing.T) {
+	sc := GenScenario(1, DefaultScenarioConfig())
+	fails := func(c Scenario) bool {
+		return strings.Contains(c.Program.String(), "S0(") && c.GuardTuples >= 8
+	}
+	if !fails(sc) {
+		t.Skip("seed 1 scenario no longer mentions S0")
+	}
+	min := Shrink(sc, fails)
+	if !fails(min) {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	// Halving from 2000 bottoms out at 15: one more halving gives 7,
+	// which passes the predicate, so 15 is the 1-minimal size.
+	if min.GuardTuples != 15 {
+		t.Errorf("guard tuples not minimized: %d, want 15", min.GuardTuples)
+	}
+	if err := sgf.Validate(min.Program); err != nil {
+		t.Errorf("shrunk program invalid: %v", err)
+	}
+	// 1-minimality: no single candidate reduction still fails.
+	for _, cand := range shrinkCandidates(min) {
+		if sgf.Validate(cand.Program) == nil && fails(cand) {
+			t.Errorf("not minimal: candidate still fails:\n%s", cand.Program)
+		}
+	}
+}
+
+// TestReportWriters exercises the TSV/JSON writers on a real sweep.
+func TestReportWriters(t *testing.T) {
+	scfg := DefaultScenarioConfig()
+	scfg.GuardTuples, scfg.CondTuples = 200, 200
+	swcfg := smallSweepConfig()
+	swcfg.Widths = []int{1}
+	res := RunSweep(GenScenarios(2, scfg), swcfg)
+	cal, err := Calibrate(res.Runs, swcfg.BaseCostConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(res, cal)
+	var tsv, ctsv, js strings.Builder
+	if err := rep.WriteRunsTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCalibrationTSV(&ctsv); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tsv.String(), "scenario\tshape\tprofile\tstrategy\twidth") {
+		t.Error("runs TSV missing header")
+	}
+	if !strings.Contains(ctsv.String(), "TOTAL") {
+		t.Error("calibration TSV missing TOTAL row")
+	}
+	if !strings.Contains(js.String(), "\"Calibration\"") {
+		t.Error("JSON missing calibration")
+	}
+	if rep.Summary() == "" {
+		t.Error("empty summary")
+	}
+}

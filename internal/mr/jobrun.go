@@ -3,6 +3,7 @@ package mr
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -70,6 +71,11 @@ type jobRun struct {
 	merged    []*relation.Relation
 
 	stats JobStats
+	// timing accumulates measured per-task wall-clock by kind, under mu
+	// (each task adds its duration in the same critical section that
+	// decrements its stage counter). Unlike stats it is a host
+	// measurement, excluded from the bit-for-bit determinism contract.
+	timing JobTiming
 }
 
 // mapTaskSpec is one map task: a contiguous tuple range of one input.
@@ -104,6 +110,7 @@ func (e *Engine) newJobRun(job *Job,
 		results:    make([][]mapTaskResult, len(job.Inputs)),
 		est:        make([]atomic.Int64, len(job.Inputs)),
 		stats:      JobStats{Name: job.Name, Parts: make([]PartStats, len(job.Inputs))},
+		timing:     JobTiming{Name: job.Name},
 	}
 }
 
@@ -152,6 +159,7 @@ func (jr *jobRun) inputReady(c *poolCtx, part int, rel *relation.Relation) {
 // mapTask runs the mapper over one split, with the allocation-lean emit
 // path (arena-held keys, sizes computed once) and optional packing.
 func (jr *jobRun) mapTask(c *poolCtx, part, ti int) {
+	start := time.Now()
 	job := jr.job
 	input := job.Inputs[part]
 	ts := jr.tasks[part][ti]
@@ -178,6 +186,7 @@ func (jr *jobRun) mapTask(c *poolCtx, part, ti int) {
 	}
 	jr.results[part][ti] = mapTaskResult{records: recs, bytes: bytes}
 	jr.mu.Lock()
+	jr.timing.MapSeconds += time.Since(start).Seconds()
 	jr.mapsLeft--
 	last := jr.mapsLeft == 0 && jr.inputsLeft == 0
 	jr.mu.Unlock()
@@ -264,6 +273,7 @@ func (jr *jobRun) computeReducers() int {
 // per-reducer sub-slices out of one backing array, then place — three
 // allocations per task regardless of the reducer count.
 func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
+	start := time.Now()
 	recs := jr.results[part][ti].records
 	reducers := jr.reducers
 	tp := taskPartition{
@@ -294,6 +304,7 @@ func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 	jr.taskParts[part][ti] = tp
 	jr.results[part][ti].records = nil // the partitioned copies own the records now
 	jr.mu.Lock()
+	jr.timing.ShuffleSeconds += time.Since(start).Seconds()
 	jr.shufsLeft--
 	last := jr.shufsLeft == 0
 	jr.mu.Unlock()
@@ -331,6 +342,7 @@ func (jr *jobRun) shufflesDone(c *poolCtx) {
 // assume they own the machine; the sorted order is identical either
 // way.
 func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
+	start := time.Now()
 	n := 0
 	for part := range jr.taskParts {
 		for ti := range jr.taskParts[part] {
@@ -354,6 +366,7 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 		jr.job.Reducer.Reduce(key, msgs, out)
 	})
 	jr.mu.Lock()
+	jr.timing.ReduceSeconds += time.Since(start).Seconds()
 	jr.redsLeft--
 	last := jr.redsLeft == 0
 	jr.mu.Unlock()
@@ -391,6 +404,7 @@ func (jr *jobRun) reducesDone(c *poolCtx) {
 // merged relation through onOutput, releasing any map tasks of
 // downstream jobs waiting on this relation.
 func (jr *jobRun) mergeTask(c *poolCtx, ni int) {
+	start := time.Now()
 	name := jr.outNames[ni]
 	srcs := make([]*relation.Relation, 0, len(jr.outs))
 	for _, o := range jr.outs {
@@ -409,6 +423,7 @@ func (jr *jobRun) mergeTask(c *poolCtx, ni int) {
 		jr.onOutput(c, name, merged)
 	}
 	jr.mu.Lock()
+	jr.timing.MergeSeconds += time.Since(start).Seconds()
 	jr.mergesLeft--
 	last := jr.mergesLeft == 0
 	jr.mu.Unlock()

@@ -128,37 +128,6 @@ func (p *Program) Validate(base []string) error {
 // report stats, jobs from f on are not started, and the returned error
 // names job f.
 func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Database, []JobStats, error) {
-	if err := p.Validate(db.Names()); err != nil {
-		return nil, nil, err
-	}
-	working := relation.NewDatabase()
-	for _, r := range db.Relations() {
-		working.Put(r)
-	}
-	limit := len(p.Jobs)
-	var failErr error
-	for i, job := range p.Jobs {
-		if err := job.validate(); err != nil {
-			limit, failErr = i, err
-			break
-		}
-	}
-	results := e.runPipelined(p, working, e.workers(), limit)
-	// Fold completed jobs in declared order so the outputs database and
-	// the stats slice are independent of the schedule.
-	outputs := relation.NewDatabase()
-	stats := make([]JobStats, 0, len(p.Jobs))
-	for _, res := range results {
-		if !res.done {
-			continue
-		}
-		for _, r := range res.outs.Relations() {
-			outputs.Put(r)
-		}
-		stats = append(stats, res.stats)
-	}
-	if failErr != nil {
-		return nil, stats, fmt.Errorf("mr: job %s: %w", p.Jobs[limit].Name, failErr)
-	}
-	return outputs, stats, nil
+	outputs, stats, _, err := e.RunProgramTimed(p, db)
+	return outputs, stats, err
 }

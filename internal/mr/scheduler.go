@@ -8,9 +8,10 @@ import (
 
 // progResult is the outcome of one scheduled job.
 type progResult struct {
-	outs  *relation.Database
-	stats JobStats
-	done  bool // job ran to completion
+	outs   *relation.Database
+	stats  JobStats
+	timing JobTiming
+	done   bool // job ran to completion
 }
 
 // consumerRef identifies one input part of one job: the unit the
@@ -76,7 +77,7 @@ func (e *Engine) runPipelined(p *Program, working *relation.Database, workers, l
 				}
 			},
 			func(c *poolCtx, jr *jobRun) {
-				results[i] = progResult{outs: jr.outputDB(), stats: jr.stats, done: true}
+				results[i] = progResult{outs: jr.outputDB(), stats: jr.stats, timing: jr.timing, done: true}
 			})
 	}
 	runTasks(workers, func(c *poolCtx) {

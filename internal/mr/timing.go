@@ -1,0 +1,74 @@
+package mr
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// JobTiming aggregates the measured host wall-clock spent inside one
+// job's task units, by task kind. Each field sums the durations of that
+// kind's tasks (CPU-seconds of work, not the job's elapsed span: with a
+// multi-worker pool, tasks overlap). The sums are what cost-model
+// calibration consumes — the engine's per-task work is what the paper's
+// per-MB constants price, and summed task time is close to invariant
+// across pool widths while the elapsed span is not.
+//
+// Timings are measurements of the host, not modelled quantities: they
+// vary run to run and are deliberately kept out of JobStats, whose
+// bit-for-bit determinism contract (identical at every pool width) the
+// golden and differential tests pin.
+type JobTiming struct {
+	Name           string
+	MapSeconds     float64 // map tasks (mapper over one split, emit, packing)
+	ShuffleSeconds float64 // shuffle partition tasks (counted two-pass placement)
+	ReduceSeconds  float64 // reduce partition tasks (concatenate, sort, reduce)
+	MergeSeconds   float64 // output merge shards (relation.Merge, publish)
+}
+
+// TotalSeconds returns the summed task time of all four kinds.
+func (t JobTiming) TotalSeconds() float64 {
+	return t.MapSeconds + t.ShuffleSeconds + t.ReduceSeconds + t.MergeSeconds
+}
+
+// RunProgramTimed is RunProgram returning, additionally, the measured
+// per-job task timings, aligned index-for-index with the returned stats
+// (completed jobs in declared order). See JobTiming for what the
+// numbers mean and why they are not part of JobStats.
+func (e *Engine) RunProgramTimed(p *Program, db *relation.Database) (*relation.Database, []JobStats, []JobTiming, error) {
+	if err := p.Validate(db.Names()); err != nil {
+		return nil, nil, nil, err
+	}
+	working := relation.NewDatabase()
+	for _, r := range db.Relations() {
+		working.Put(r)
+	}
+	limit := len(p.Jobs)
+	var failErr error
+	for i, job := range p.Jobs {
+		if err := job.validate(); err != nil {
+			limit, failErr = i, err
+			break
+		}
+	}
+	results := e.runPipelined(p, working, e.workers(), limit)
+	// Fold completed jobs in declared order so the outputs database and
+	// the stats slice are independent of the schedule.
+	outputs := relation.NewDatabase()
+	stats := make([]JobStats, 0, len(p.Jobs))
+	timings := make([]JobTiming, 0, len(p.Jobs))
+	for _, res := range results {
+		if !res.done {
+			continue
+		}
+		for _, r := range res.outs.Relations() {
+			outputs.Put(r)
+		}
+		stats = append(stats, res.stats)
+		timings = append(timings, res.timing)
+	}
+	if failErr != nil {
+		return nil, stats, timings, fmt.Errorf("mr: job %s: %w", p.Jobs[limit].Name, failErr)
+	}
+	return outputs, stats, timings, nil
+}

@@ -34,7 +34,13 @@ type Workload struct {
 	// of guard tuples each conditional relation matches (§5.4).
 	CoverSel float64
 	CoverSet bool
-	Seed     int64
+	// Zipf, when positive, skews the generated data (data.GuardSpec.Zipf /
+	// data.CondSpec.Zipf): guard column 0 and the conditionals' matching
+	// join values follow a Zipf(1+Zipf) distribution. Applied only to
+	// relations of arity ≥ 2 — unary relations are distinct-value sets
+	// that skew cannot change.
+	Zipf float64
+	Seed int64
 }
 
 func mustParse(name, src string) *sgf.Program {
@@ -290,12 +296,16 @@ func (w Workload) Build(scale float64) *relation.Database {
 		if !u.isGuard {
 			continue
 		}
-		db.Put(data.GuardSpec{
+		g := data.GuardSpec{
 			Name:   name,
 			Arity:  u.arity,
 			Tuples: guardN,
 			Seed:   w.Seed,
-		}.Generate())
+		}
+		if u.arity >= 2 {
+			g.Zipf = w.Zipf
+		}
+		db.Put(g.Generate())
 	}
 	for _, name := range order {
 		u := uses[name]
@@ -310,6 +320,9 @@ func (w Workload) Build(scale float64) *relation.Database {
 			CoverFrac: w.CoverSel,
 			CoverSet:  w.CoverSet,
 			Seed:      w.Seed,
+		}
+		if u.arity >= 2 {
+			spec.Zipf = w.Zipf
 		}
 		if u.paired {
 			spec.Guard = db.Relation(u.guardRel)
