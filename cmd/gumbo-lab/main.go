@@ -8,11 +8,18 @@
 //	gumbo-lab -seeds 20
 //	gumbo-lab -seeds 5 -widths 1,2,8 -guard-tuples 500 -out lab
 //	gumbo-lab -short
+//	gumbo-lab -cancel -seeds 5
 //
 // Exit status is 1 when any divergence is found (each is reported with
 // a minimal shrunken reproduction), 0 on a clean sweep. With -out P the
 // per-run table is written to P-runs.tsv, the per-scenario calibration
 // table to P-calibration.tsv, and the full report to P.json.
+//
+// With -cancel the sweep instead cancels each scenario's run at a
+// seeded random task boundary and checks the engine's cancellation
+// contract: context.Canceled within a bounded number of task grants,
+// untouched input data, no goroutine leaks, and a bit-for-bit clean
+// re-run afterwards.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 		scale       = flag.Float64("scale", 0, "cost-config scale (default 1e-4)")
 		noShrink    = flag.Bool("no-shrink", false, "skip shrinking failing scenarios")
 		short       = flag.Bool("short", false, "small smoke sweep: few seeds, small data, widths 1,2")
+		cancelMode  = flag.Bool("cancel", false, "cancellation sweep: cancel each scenario at a seeded task boundary and check clean teardown")
 		out         = flag.String("out", "", "output path prefix for TSV/JSON reports")
 	)
 	flag.Parse()
@@ -63,6 +71,19 @@ func main() {
 	swcfg.Shrink = !*noShrink
 
 	scenarios := lab.GenScenarios(*seeds, scfg)
+	if *cancelMode {
+		fmt.Printf("cancel-sweeping %d scenarios\n", len(scenarios))
+		rep := lab.RunCancelSweep(scenarios, swcfg)
+		fmt.Printf("%d scenarios canceled cleanly, %d violations\n",
+			rep.Scenarios-len(rep.Failures), len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "CANCEL VIOLATION %s at task boundary %d: %s\n", f.Scenario, f.Boundary, f.Detail)
+		}
+		if len(rep.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("sweeping %d scenarios × %d strategies\n", len(scenarios), len(lab.AllStrategies()))
 	res := lab.RunSweep(scenarios, swcfg)
 

@@ -8,7 +8,7 @@
 //
 //	gumbo-serve [-addr :8080] [-workers N] [-jobs N]
 //	            [-cache 128] [-batch-window 2ms] [-max-batch 16]
-//	            [-scale 0.001]
+//	            [-query-timeout 0] [-scale 0.001]
 package main
 
 import (
@@ -31,12 +31,13 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "engine worker pool for all plan tasks (0 = GOMAXPROCS)")
 		//lint:ignore deprecatedknob -jobs here is admission control (concurrent plans at the service layer), not the retired engine parallelism knob
-		jobs        = flag.Int("jobs", 0, "admission capacity: concurrently executing plans (0 = GOMAXPROCS)")
-		cacheSize   = flag.Int("cache", 128, "plan-cache capacity (entries)")
-		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (negative disables batching)")
-		maxBatch    = flag.Int("max-batch", 16, "flush a micro-batch early at this many queries")
-		maxBody     = flag.Int64("max-body", 32<<20, "request body size cap in bytes")
-		scale       = flag.Float64("scale", 1, "cost-model scale factor (fraction of the paper's data sizes)")
+		jobs         = flag.Int("jobs", 0, "admission capacity: concurrently executing plans (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 128, "plan-cache capacity (entries)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window (negative disables batching)")
+		maxBatch     = flag.Int("max-batch", 16, "flush a micro-batch early at this many queries")
+		maxBody      = flag.Int64("max-body", 32<<20, "request body size cap in bytes")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline incl. admission wait; expired runs return 504 (0 disables)")
+		scale        = flag.Float64("scale", 1, "cost-model scale factor (fraction of the paper's data sizes)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,
 		MaxBodyBytes:   *maxBody,
+		QueryTimeout:   *queryTimeout,
 	}
 	if *scale != 1 {
 		cfg.Options = append(cfg.Options, gumbo.WithScale(*scale))

@@ -28,6 +28,7 @@
 package gumbo
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baselines"
@@ -62,6 +63,13 @@ type (
 	// tasks, by kind. Unlike JobStats it is a measurement of the host and
 	// outside the determinism contract.
 	JobTiming = mr.JobTiming
+	// Progress accumulates live task-completion counters for one run:
+	// pass a fresh *Progress to RunPlanObserved and poll Snapshot from
+	// any goroutine while the run executes. The zero value is ready to
+	// use.
+	Progress = mr.Progress
+	// ProgressSnapshot is a point-in-time copy of a run's task counters.
+	ProgressSnapshot = mr.ProgressSnapshot
 	// CostConfig holds the MapReduce cost-model constants (Table 1/5).
 	CostConfig = cost.Config
 	// Strategy selects an evaluation strategy.
@@ -328,11 +336,21 @@ func (s *System) plan(q *Query, db *Database, strategy Strategy) (*core.Plan, er
 // Run plans and executes q against db under the strategy. It is
 // equivalent to Plan followed by RunPlan.
 func (s *System) Run(q *Query, db *Database, strategy Strategy) (*Result, error) {
+	//lint:ignore ctxpass Run is the library's documented no-cancellation entry point; RunCtx is the context-aware form
+	return s.RunCtx(context.Background(), q, db, strategy)
+}
+
+// RunCtx is Run honoring ctx: the engine stops at the next task
+// boundary after ctx is canceled or its deadline passes, and the
+// returned error wraps ctx.Err() — errors.Is(err, context.Canceled)
+// or errors.Is(err, context.DeadlineExceeded) holds. The input
+// database is never modified, canceled or not.
+func (s *System) RunCtx(ctx context.Context, q *Query, db *Database, strategy Strategy) (*Result, error) {
 	inner, err := s.plan(q, db, strategy)
 	if err != nil {
 		return nil, err
 	}
-	return s.runPlan(inner, q.Name(), db)
+	return s.runPlan(ctx, inner, q.Name(), db, nil)
 }
 
 // RunPlan executes a previously built plan against db. This is the
@@ -348,15 +366,31 @@ func (s *System) Run(q *Query, db *Database, strategy Strategy) (*Result, error)
 // changes, so cache plans keyed by Database.Generation (see
 // internal/server) when plan optimality matters.
 func (s *System) RunPlan(plan *Plan, db *Database) (*Result, error) {
+	//lint:ignore ctxpass RunPlan is the library's documented no-cancellation entry point; RunPlanCtx is the context-aware form
+	return s.RunPlanCtx(context.Background(), plan, db)
+}
+
+// RunPlanCtx is RunPlan honoring ctx; see RunCtx for the cancellation
+// contract.
+func (s *System) RunPlanCtx(ctx context.Context, plan *Plan, db *Database) (*Result, error) {
+	return s.RunPlanObserved(ctx, plan, db, nil)
+}
+
+// RunPlanObserved is RunPlanCtx additionally mirroring live
+// task-completion counters into prog when non-nil. Pass a fresh
+// *Progress per run and poll prog.Snapshot() from any goroutine while
+// the run executes — this is the progress hook services poll without
+// waiting for the Result (see internal/server's queries endpoint).
+func (s *System) RunPlanObserved(ctx context.Context, plan *Plan, db *Database, prog *Progress) (*Result, error) {
 	output := plan.output
 	if output == "" && len(plan.inner.Outputs) > 0 {
 		output = plan.inner.Outputs[len(plan.inner.Outputs)-1]
 	}
-	return s.runPlan(plan.inner, output, db)
+	return s.runPlan(ctx, plan.inner, output, db, prog)
 }
 
-func (s *System) runPlan(inner *core.Plan, output string, db *Database) (*Result, error) {
-	res, err := s.runner.Run(inner, db)
+func (s *System) runPlan(ctx context.Context, inner *core.Plan, output string, db *Database, prog *Progress) (*Result, error) {
+	res, err := s.runner.RunObserved(ctx, inner, db, prog)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -79,7 +80,22 @@ func (r *Result) Output() *relation.Relation {
 
 // Run executes the plan against db.
 func (r *Runner) Run(plan *core.Plan, db *relation.Database) (*Result, error) {
-	outputs, stats, timings, err := r.Engine.RunProgramTimed(plan.Program(), db)
+	//lint:ignore ctxpass Run is the documented no-cancellation entry point; callers below the API layer use RunCtx
+	return r.RunObserved(context.Background(), plan, db, nil)
+}
+
+// RunCtx is Run honoring ctx: the engine stops at the next task
+// boundary after cancellation and the returned error wraps ctx.Err()
+// (errors.Is-compatible with context.Canceled / DeadlineExceeded).
+func (r *Runner) RunCtx(ctx context.Context, plan *core.Plan, db *relation.Database) (*Result, error) {
+	return r.RunObserved(ctx, plan, db, nil)
+}
+
+// RunObserved is RunCtx additionally mirroring live task-completion
+// counters into prog when non-nil (one fresh mr.Progress per run; see
+// mr.RunProgramObserved for the cancellation contract).
+func (r *Runner) RunObserved(ctx context.Context, plan *core.Plan, db *relation.Database, prog *mr.Progress) (*Result, error) {
+	outputs, stats, timings, err := r.Engine.RunProgramObserved(ctx, plan.Program(), db, prog)
 	if err != nil {
 		return nil, fmt.Errorf("exec: plan %s: %w", plan.Name, err)
 	}

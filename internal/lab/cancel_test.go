@@ -1,0 +1,20 @@
+package lab
+
+import "testing"
+
+// TestCancelSweepClean runs the cancellation sweep over a handful of
+// generated scenarios: every one must tear down cleanly. Not parallel —
+// the sweep owns the process-wide fault-injection seam.
+func TestCancelSweepClean(t *testing.T) {
+	scfg := DefaultScenarioConfig()
+	scfg.GuardTuples, scfg.CondTuples = 300, 300
+	swcfg := DefaultSweepConfig()
+	swcfg.Widths = []int{1, 2}
+	rep := RunCancelSweep(GenScenarios(3, scfg), swcfg)
+	if rep.Scenarios != 3 {
+		t.Fatalf("swept %d scenarios, want 3", rep.Scenarios)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("%s at boundary %d: %s", f.Scenario, f.Boundary, f.Detail)
+	}
+}

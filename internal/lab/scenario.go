@@ -105,7 +105,10 @@ func (s Scenario) Source() string { return s.Program.String() }
 
 // Build generates the scenario's database: every base relation of the
 // program, guards at GuardTuples and conditionals at CondTuples, under
-// the profile's distribution. Deterministic in the scenario.
+// the profile's distribution, then correlated so atoms referencing
+// earlier outputs stay selective but nonempty (correlate.go — without
+// this, chain-shaped scenarios run dry after their first query).
+// Deterministic in the scenario.
 func (s Scenario) Build() *relation.Database {
 	w := workload.Workload{
 		Name:        s.Name,
@@ -118,7 +121,9 @@ func (s Scenario) Build() *relation.Database {
 		Zipf:        s.Profile.Zipf,
 		Seed:        s.Seed,
 	}
-	return w.Build(1.0)
+	db := w.Build(1.0)
+	correlateOutputRefs(s.Program, db, s.Seed)
+	return db
 }
 
 // CondAtomCount returns the total number of conditional atoms across

@@ -122,6 +122,54 @@ func TestFrozenScenarioSweep(t *testing.T) {
 	}
 }
 
+// TestChainCorrelationSelective pins the point of correlate.go: in the
+// chain-shaped frozen scenarios every query downstream of an output
+// reference must produce something (the chain flows) without producing
+// everything (the reference stays selective). Before correlation these
+// outputs were empty from the second link on.
+func TestChainCorrelationSelective(t *testing.T) {
+	for _, f := range frozenScenarios {
+		if f.shape != ShapeChain {
+			continue
+		}
+		sc := Scenario{
+			Name:        f.name,
+			Seed:        f.seed,
+			Shape:       f.shape,
+			Profile:     profileByName(t, f.profile),
+			Program:     sgf.MustParse(f.src),
+			GuardTuples: 300,
+			CondTuples:  300,
+		}
+		q, err := gumbo.Parse(sc.Source())
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f.name, err)
+		}
+		db := sc.Build()
+		out, err := gumbo.EvalAll(q, db)
+		if err != nil {
+			t.Fatalf("%s: refeval: %v", f.name, err)
+		}
+		for _, query := range sc.Program.Queries {
+			guard := db.Relation(query.Guard.Rel)
+			if guard == nil {
+				continue // output-guarded query; bounded by its producer instead
+			}
+			r := out.Relation(query.Name)
+			if r == nil {
+				t.Fatalf("%s: output %s missing", f.name, query.Name)
+			}
+			if r.Size() == 0 {
+				t.Errorf("%s: output %s is empty; the chain ran dry", f.name, query.Name)
+			}
+			if r.Size() >= guard.Size() {
+				t.Errorf("%s: output %s has %d tuples of a %d-tuple guard; reference not selective",
+					f.name, query.Name, r.Size(), guard.Size())
+			}
+		}
+	}
+}
+
 // TestFrozenScenarioGoldenSizes pins each frozen scenario's reference
 // output cardinalities. These golden numbers pin three layers at once:
 // the data generator's seed streams, the workload builder's relation
@@ -131,12 +179,12 @@ func TestFrozenScenarioSweep(t *testing.T) {
 func TestFrozenScenarioGoldenSizes(t *testing.T) {
 	golden := map[string][]int{
 		"union-negation-nomatch": {299, 243},
-		"multi-output-atoms":     {43, 0, 0},
+		"multi-output-atoms":     {58, 41, 131},
 		"nested-two-level-dense": {300, 0, 239},
 		"star-zipf":              {1, 1},
-		"chain-three-deep":       {163, 0, 0},
+		"chain-three-deep":       {163, 104, 126},
 		"union-wide-zipf":        {300},
-		"chain-sparse-flowing":   {12, 5, 0},
+		"chain-sparse-flowing":   {62, 29, 153},
 		"nested-contradiction":   {0, 0, 0},
 		"multi-negated-output":   {0, 0, 0, 272},
 		"multi-mixed-boolean":    {0, 0, 238, 0},

@@ -1,0 +1,12 @@
+package ctxpass_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxpass"
+)
+
+func TestCtxPass(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxpass.Analyzer, "lintest/ctxpass")
+}

@@ -13,6 +13,7 @@ package lint
 
 import (
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxpass"
 	"repro/internal/lint/deprecatedknob"
 	"repro/internal/lint/keyretain"
 	"repro/internal/lint/mapiter"
@@ -24,6 +25,7 @@ import (
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxpass.Analyzer,
 		deprecatedknob.Analyzer,
 		keyretain.Analyzer,
 		mapiter.Analyzer,

@@ -1,0 +1,69 @@
+// Testdata for the ctxpass analyzer. The package is named mr like the
+// engine package: the runTasks rule matches the pool entry point by
+// package name + function name, and runTasks is unexported there.
+package mr
+
+import "context"
+
+type poolCtx struct{}
+
+func runTasks(ctx context.Context, workers int, seed func(*poolCtx)) error { return ctx.Err() }
+
+// propagates: has ctx, threads it through. Legal.
+func runProgram(ctx context.Context) error {
+	return runTasks(ctx, 4, func(c *poolCtx) {})
+}
+
+// detached: spawns pool work without accepting a context — both the
+// manufactured root context and the missing parameter are flagged.
+func runDetached() error {
+	return runTasks(context.Background(), 4, func(c *poolCtx) {}) // want `context.Background\(\) below the API layer` `calls runTasks but takes no context.Context`
+}
+
+// shadowed: receives ctx but manufactures a fresh one anyway.
+func shadowed(ctx context.Context) error {
+	return runTasks(context.TODO(), 4, func(c *poolCtx) {}) // want `context.TODO\(\) inside a function that already receives`
+}
+
+// closure: a literal inside a ctx-receiving function may use the
+// captured ctx; manufacturing one inside the literal is still flagged.
+func viaClosure(ctx context.Context) error {
+	run := func() error {
+		return runTasks(ctx, 2, func(c *poolCtx) {})
+	}
+	bad := func() {
+		_ = context.Background() // want `context.Background\(\) inside a function that already receives`
+	}
+	bad()
+	return run()
+}
+
+// literalWithOwnCtx: a literal declaring its own ctx param is a valid
+// propagation layer.
+func literalWithOwnCtx() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return runTasks(ctx, 2, func(c *poolCtx) {})
+	}
+}
+
+// bareLiteral: a literal in a ctx-less function spawning pool work is
+// flagged like its parent would be.
+func bareLiteral() func() {
+	return func() {
+		_ = runTasks(context.TODO(), 1, func(c *poolCtx) {}) // want `context.TODO\(\) below the API layer` `calls runTasks but takes no context.Context`
+	}
+}
+
+// suppressed: the documented no-cancellation entry-point pattern.
+func legacyEntryPoint() error {
+	//lint:ignore ctxpass testdata: pins that the entry-point suppression silences both findings
+	return runTasks(context.Background(), 1, func(c *poolCtx) {})
+}
+
+// usesCtxValues: plain context use (values, derivation from the given
+// ctx) is not the analyzer's business.
+func usesCtxValues(ctx context.Context) context.Context {
+	child, cancel := context.WithCancel(ctx)
+	cancel()
+	return child
+}

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -110,6 +111,16 @@ func emitInto(arena *keyArena, recs *[]record) Emit {
 // pool of Parallelism workers; RunProgram schedules many jobs onto one
 // shared pool instead of calling RunJob per job.
 func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, JobStats, error) {
+	//lint:ignore ctxpass RunJob is the documented no-cancellation entry point (and runSequential's oracle path); callers below the API layer use RunJobCtx
+	return e.RunJobCtx(context.Background(), job, db)
+}
+
+// RunJobCtx is RunJob honoring ctx. On cancellation the job's task
+// graph stops at the next task boundary, the returned database is nil,
+// and the error wraps ctx.Err() (context.Canceled or
+// context.DeadlineExceeded via errors.Is). The input database is never
+// modified either way.
+func (e *Engine) RunJobCtx(ctx context.Context, job *Job, db *relation.Database) (*relation.Database, JobStats, error) {
 	if err := job.validate(); err != nil {
 		return nil, JobStats{}, err
 	}
@@ -122,12 +133,15 @@ func (e *Engine) RunJob(job *Job, db *relation.Database) (*relation.Database, Jo
 		rels[i] = rel
 	}
 	jr := e.newJobRun(job, nil, nil)
-	runTasks(e.workers(), func(c *poolCtx) {
+	err := runTasks(ctx, e.workers(), func(c *poolCtx) {
 		jr.seed(c)
 		for part, rel := range rels {
 			jr.inputReady(c, part, rel)
 		}
 	})
+	if err != nil {
+		return nil, JobStats{}, fmt.Errorf("mr: job %s canceled: %w", job.Name, err)
+	}
 	return jr.outputDB(), jr.stats, nil
 }
 

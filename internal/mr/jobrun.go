@@ -36,6 +36,11 @@ type jobRun struct {
 	job     *Job
 	inflate float64
 
+	// progress, when set, mirrors the stage counters into the run's
+	// live Progress observer (nil methods are no-ops, so the unobserved
+	// path pays one nil check per stage event).
+	progress *Progress
+
 	// onOutput, when set, is invoked once per merged output relation,
 	// from the merge task itself — the program scheduler's publish hook
 	// (it releases dependent jobs' map tasks). done fires once when the
@@ -150,6 +155,7 @@ func (jr *jobRun) inputReady(c *poolCtx, part int, rel *relation.Relation) {
 	jr.inputsLeft--
 	jr.mapsLeft += m
 	jr.mu.Unlock()
+	jr.progress.addMapTotal(m)
 	for ti := range specs {
 		ti := ti
 		c.spawn(func(c *poolCtx) { jr.mapTask(c, part, ti) })
@@ -190,6 +196,7 @@ func (jr *jobRun) mapTask(c *poolCtx, part, ti int) {
 	jr.mapsLeft--
 	last := jr.mapsLeft == 0 && jr.inputsLeft == 0
 	jr.mu.Unlock()
+	jr.progress.mapTaskDone()
 	if last {
 		jr.mapsDone(c)
 	}
@@ -222,6 +229,7 @@ func (jr *jobRun) mapsDone(c *poolCtx) {
 	jr.mu.Lock()
 	jr.shufsLeft = total
 	jr.mu.Unlock()
+	jr.progress.addShuffleTotal(total)
 	if total == 0 {
 		jr.shufflesDone(c)
 		return
@@ -308,6 +316,7 @@ func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 	jr.shufsLeft--
 	last := jr.shufsLeft == 0
 	jr.mu.Unlock()
+	jr.progress.shuffleTaskDone()
 	if last {
 		jr.shufflesDone(c)
 	}
@@ -326,6 +335,7 @@ func (jr *jobRun) shufflesDone(c *poolCtx) {
 	jr.mu.Lock()
 	jr.redsLeft = r
 	jr.mu.Unlock()
+	jr.progress.addReduceTotal(r)
 	for ri := 0; ri < r; ri++ {
 		ri := ri
 		c.spawn(func(c *poolCtx) { jr.reduceTask(c, ri) })
@@ -370,6 +380,7 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 	jr.redsLeft--
 	last := jr.redsLeft == 0
 	jr.mu.Unlock()
+	jr.progress.reduceTaskDone()
 	if last {
 		jr.reducesDone(c)
 	}
@@ -388,6 +399,7 @@ func (jr *jobRun) reducesDone(c *poolCtx) {
 	jr.mu.Lock()
 	jr.mergesLeft = len(jr.outNames)
 	jr.mu.Unlock()
+	jr.progress.addMergeTotal(len(jr.outNames))
 	if len(jr.outNames) == 0 {
 		jr.finishJob(c)
 		return
@@ -427,6 +439,7 @@ func (jr *jobRun) mergeTask(c *poolCtx, ni int) {
 	jr.mergesLeft--
 	last := jr.mergesLeft == 0
 	jr.mu.Unlock()
+	jr.progress.mergeShardDone()
 	if last {
 		jr.finishJob(c)
 	}
@@ -442,6 +455,7 @@ func (jr *jobRun) finishJob(c *poolCtx) {
 	for _, mb := range jr.outMB {
 		jr.stats.OutputMB += mb
 	}
+	jr.progress.jobDone()
 	if jr.done != nil {
 		jr.done(c, jr)
 	}

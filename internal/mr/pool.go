@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -99,22 +100,66 @@ func (d *taskDeque) steal() poolTask {
 }
 
 // taskPool runs tasks to quiescence: runTasks returns when every
-// spawned task — including tasks spawned by tasks — has finished.
+// spawned task — including tasks spawned by tasks — has finished, or
+// until the run's context is canceled (queued tasks are then abandoned
+// at the next task boundary, exactly like the abort path).
 type taskPool struct {
 	deques []taskDeque
+	// ctx is the run's context. next polls it directly on every grant
+	// (on top of the async watcher that wakes parked workers), so the
+	// number of tasks granted after a cancel is strictly bounded: at
+	// most one per worker already past its poll.
+	ctx context.Context
 
-	mu   sync.Mutex // guards idle, panicked and the wakeup protocol
+	mu   sync.Mutex // guards idle, panicked, cancelErr and the wakeup protocol
 	cond *sync.Cond
 	idle int
-	// stopped flips once, on quiescence or abort. It is atomic so the
-	// dequeue fast path can observe an abort without taking mu: after a
-	// task panic, workers must abandon queued tasks promptly, not drain
-	// them.
+	// stopped flips once, on quiescence, abort or cancellation. It is
+	// atomic so the dequeue fast path can observe a stop without taking
+	// mu: after a task panic or a context cancellation, workers must
+	// abandon queued tasks promptly, not drain them.
 	stopped atomic.Bool
 
 	pendingMu sync.Mutex
-	pending   int // spawned but unfinished tasks
-	panicked  any // first task panic, re-raised on the runTasks caller
+	pending   int   // spawned but unfinished tasks
+	panicked  any   // first task panic, re-raised on the runTasks caller
+	cancelErr error // context error that stopped the pool, under mu
+
+	// hooks is the fault-injection seam installed via SetFaultHooks,
+	// captured once at pool construction; grants numbers the task grants
+	// it observes. Both are test-only instrumentation.
+	hooks  *FaultHooks
+	grants atomic.Int64
+}
+
+// FaultHooks instruments the task pool for fault-injection tests. The
+// zero value observes nothing. Hooks run on worker goroutines on the
+// task-grant path, so they can delay (sleep), park (block on a
+// channel), or cancel (cancel the run's context) at chosen task
+// indices; see SetFaultHooks.
+type FaultHooks struct {
+	// Grant, when non-nil, is called immediately before a granted task
+	// executes, with the pool-wide 0-based grant index (the order in
+	// which workers were handed tasks — schedule-dependent, but its
+	// range is deterministic: a full run grants every task exactly
+	// once). Blocking stalls that worker; canceling the run's context
+	// from inside the hook stops the pool at the next task boundary.
+	Grant func(n int)
+}
+
+// poolHooks holds the installed fault seam; nil means uninstrumented
+// (the production state). An atomic pointer so installing hooks in a
+// test cannot race with a pool being constructed elsewhere.
+var poolHooks atomic.Pointer[FaultHooks]
+
+// SetFaultHooks installs h as the fault-injection seam observed by
+// every subsequently created pool, returning a function that restores
+// the previous seam. Test-only: callers own serializing their use of
+// the process-wide seam (tests that install hooks must not run in
+// parallel with other pool-running tests).
+func SetFaultHooks(h FaultHooks) (restore func()) {
+	prev := poolHooks.Swap(&h)
+	return func() { poolHooks.Store(prev) }
 }
 
 // spawn schedules fn onto worker `from`'s deque and wakes a sleeper if
@@ -163,9 +208,10 @@ func (p *taskPool) finish() {
 // the same lock after pushing, so a task pushed after the scan wakes
 // the parked worker — no lost wakeups.
 func (p *taskPool) next(id int) poolTask {
-	if p.stopped.Load() {
-		// Quiescence (queues empty) or abort (queued tasks abandoned,
-		// panic pending re-raise): either way, stop taking work.
+	if p.stopped.Load() || p.canceled() {
+		// Quiescence (queues empty), abort (queued tasks abandoned,
+		// panic pending re-raise) or cancellation: either way, stop
+		// taking work.
 		return nil
 	}
 	if t := p.deques[id].pop(); t != nil {
@@ -177,7 +223,7 @@ func (p *taskPool) next(id int) poolTask {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
-		if p.stopped.Load() {
+		if p.stopped.Load() || p.canceled() {
 			return nil
 		}
 		if t := p.deques[id].pop(); t != nil {
@@ -190,6 +236,14 @@ func (p *taskPool) next(id int) poolTask {
 		p.cond.Wait()
 		p.idle--
 	}
+}
+
+// canceled reports whether the run's context is already canceled: the
+// synchronous half of the cancellation protocol (the watcher goroutine
+// in runTasks is the asynchronous half, waking parked workers). Polled
+// once per task grant — pool tasks are coarse, so the check is noise.
+func (p *taskPool) canceled() bool {
+	return p.ctx != nil && p.ctx.Err() != nil
 }
 
 // stealFrom scans the other deques round-robin starting after id.
@@ -216,6 +270,20 @@ func (p *taskPool) abort(v any) {
 	p.mu.Unlock()
 }
 
+// cancel stops the pool on context cancellation, mirroring abort:
+// workers finish their current task and exit at the next task boundary
+// (never mid-task, so a task's writes into its pre-indexed slot are
+// either complete or never started), queued tasks are abandoned.
+func (p *taskPool) cancel(err error) {
+	p.mu.Lock()
+	if p.cancelErr == nil {
+		p.cancelErr = err
+	}
+	p.stopped.Store(true)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
 // runOne executes t, converting a task panic into an abort so the
 // panic can be re-raised on the runTasks caller's goroutine.
 func (p *taskPool) runOne(c *poolCtx, t poolTask) {
@@ -231,16 +299,42 @@ func (p *taskPool) runOne(c *poolCtx, t poolTask) {
 
 // runTasks creates a pool of `workers` goroutines, runs seed as the
 // first task, and returns once the pool is quiescent (seed and every
-// transitively spawned task finished). A panic in any task aborts the
-// pool and is re-raised on the caller's goroutine, so user map/reduce
-// panics surface to the RunJob/RunProgram caller exactly as they did
-// when phases ran inline.
-func runTasks(workers int, seed poolTask) {
+// transitively spawned task finished) or ctx is canceled. A panic in
+// any task aborts the pool and is re-raised on the caller's goroutine,
+// so user map/reduce panics surface to the RunJob/RunProgram caller
+// exactly as they did when phases ran inline.
+//
+// Cancellation is task-boundary-granular: a watcher goroutine (joined
+// before return — runTasks leaks nothing) stops the pool when
+// ctx.Done() fires, in-flight tasks run to completion, and queued
+// tasks are abandoned, so at most `workers` further tasks are granted
+// after the cancel. A canceled ctx always yields a non-nil return —
+// ctx.Err(), i.e. context.Canceled or context.DeadlineExceeded — even
+// when the pool raced to quiescence first, so callers observe a
+// deterministic error for a canceled run.
+func runTasks(ctx context.Context, workers int, seed poolTask) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers < 1 {
 		workers = 1
 	}
-	p := &taskPool{deques: make([]taskDeque, workers)}
+	p := &taskPool{deques: make([]taskDeque, workers), ctx: ctx, hooks: poolHooks.Load()}
 	p.cond = sync.NewCond(&p.mu)
+	stopWatch := make(chan struct{})
+	var watch sync.WaitGroup
+	if done := ctx.Done(); done != nil {
+		watch.Add(1)
+		//lint:ignore rawgo the pool's cancellation watcher: wg-joined below via close(stopWatch), it only signals the pool's own stop protocol
+		go func() {
+			defer watch.Done()
+			select {
+			case <-done:
+				p.cancel(ctx.Err())
+			case <-stopWatch:
+			}
+		}()
+	}
 	p.spawn(0, seed)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -254,12 +348,18 @@ func runTasks(workers int, seed poolTask) {
 				if t == nil {
 					return
 				}
+				if h := p.hooks; h != nil && h.Grant != nil {
+					h.Grant(int(p.grants.Add(1) - 1))
+				}
 				p.runOne(c, t)
 			}
 		}(w)
 	}
 	wg.Wait()
+	close(stopWatch)
+	watch.Wait()
 	if p.panicked != nil {
 		panic(p.panicked)
 	}
+	return ctx.Err()
 }

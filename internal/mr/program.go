@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -129,5 +130,14 @@ func (p *Program) Validate(base []string) error {
 // names job f.
 func (e *Engine) RunProgram(p *Program, db *relation.Database) (*relation.Database, []JobStats, error) {
 	outputs, stats, _, err := e.RunProgramTimed(p, db)
+	return outputs, stats, err
+}
+
+// RunProgramCtx is RunProgram honoring ctx: the run stops at the next
+// task boundary after ctx is canceled, completed jobs report stats,
+// and the returned error wraps ctx.Err(). See RunProgramObserved for
+// the full cancellation contract.
+func (e *Engine) RunProgramCtx(ctx context.Context, p *Program, db *relation.Database) (*relation.Database, []JobStats, error) {
+	outputs, stats, _, err := e.RunProgramObserved(ctx, p, db, nil)
 	return outputs, stats, err
 }

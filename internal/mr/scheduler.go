@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -44,10 +45,19 @@ type consumerRef struct {
 // Results and stats are therefore bit-for-bit identical to
 // runSequential at every pool width; the caller folds them in declared
 // job order.
-func (e *Engine) runPipelined(p *Program, working *relation.Database, workers, limit int) []progResult {
+//
+// Cancellation stops the pool at the next task boundary (see
+// runTasks): jobs whose done callback already fired are complete —
+// their results slot is final and bit-for-bit identical to a full run
+// — while every other job's partial state is simply dropped with the
+// abandoned tasks. The returned error is ctx.Err() when the run was
+// canceled, nil otherwise. prog, when non-nil, observes live task
+// counters (one Progress per run).
+func (e *Engine) runPipelined(ctx context.Context, p *Program, working *relation.Database, workers, limit int, prog *Progress) ([]progResult, error) {
 	results := make([]progResult, len(p.Jobs))
+	prog.setJobsTotal(limit)
 	if limit == 0 {
-		return results
+		return results, ctx.Err()
 	}
 	reads := p.ReadSets()
 	// consumers[rel] lists the input parts reading a produced relation.
@@ -79,8 +89,9 @@ func (e *Engine) runPipelined(p *Program, working *relation.Database, workers, l
 			func(c *poolCtx, jr *jobRun) {
 				results[i] = progResult{outs: jr.outputDB(), stats: jr.stats, timing: jr.timing, done: true}
 			})
+		runs[i].progress = prog
 	}
-	runTasks(workers, func(c *poolCtx) {
+	err := runTasks(ctx, workers, func(c *poolCtx) {
 		for i := 0; i < limit; i++ {
 			runs[i].seed(c)
 			for part, prod := range reads[i] {
@@ -92,7 +103,7 @@ func (e *Engine) runPipelined(p *Program, working *relation.Database, workers, l
 			}
 		}
 	})
-	return results
+	return results, err
 }
 
 // runSequential executes the jobs strictly in declared order, one

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -36,6 +37,31 @@ func (t JobTiming) TotalSeconds() float64 {
 // (completed jobs in declared order). See JobTiming for what the
 // numbers mean and why they are not part of JobStats.
 func (e *Engine) RunProgramTimed(p *Program, db *relation.Database) (*relation.Database, []JobStats, []JobTiming, error) {
+	//lint:ignore ctxpass RunProgramTimed is the documented no-cancellation entry point; callers below the API layer use RunProgramTimedCtx
+	return e.RunProgramObserved(context.Background(), p, db, nil)
+}
+
+// RunProgramTimedCtx is RunProgramTimed honoring ctx: see
+// RunProgramObserved for the cancellation contract.
+func (e *Engine) RunProgramTimedCtx(ctx context.Context, p *Program, db *relation.Database) (*relation.Database, []JobStats, []JobTiming, error) {
+	return e.RunProgramObserved(ctx, p, db, nil)
+}
+
+// RunProgramObserved is the engine's full program entry point: it runs
+// the program honoring ctx and, when prog is non-nil, mirrors live
+// task-completion counters into it (one fresh Progress per run; nil
+// skips the bookkeeping).
+//
+// Cancellation semantics: the pool stops at the next task boundary —
+// never mid-task, so no partially folded state is ever observable.
+// Jobs that completed before the cancel report their stats and timings
+// (bit-for-bit identical to an uncanceled run's), the outputs database
+// is nil, and the returned error wraps ctx.Err(), so
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds. A
+// canceled ctx always yields that error, even when the run raced to
+// completion first. The input database is never modified, canceled or
+// not: runs mutate only a private working copy.
+func (e *Engine) RunProgramObserved(ctx context.Context, p *Program, db *relation.Database, prog *Progress) (*relation.Database, []JobStats, []JobTiming, error) {
 	if err := p.Validate(db.Names()); err != nil {
 		return nil, nil, nil, err
 	}
@@ -51,7 +77,7 @@ func (e *Engine) RunProgramTimed(p *Program, db *relation.Database) (*relation.D
 			break
 		}
 	}
-	results := e.runPipelined(p, working, e.workers(), limit)
+	results, ctxErr := e.runPipelined(ctx, p, working, e.workers(), limit, prog)
 	// Fold completed jobs in declared order so the outputs database and
 	// the stats slice are independent of the schedule.
 	outputs := relation.NewDatabase()
@@ -66,6 +92,9 @@ func (e *Engine) RunProgramTimed(p *Program, db *relation.Database) (*relation.D
 		}
 		stats = append(stats, res.stats)
 		timings = append(timings, res.timing)
+	}
+	if ctxErr != nil {
+		return nil, stats, timings, fmt.Errorf("mr: program canceled: %w", ctxErr)
 	}
 	if failErr != nil {
 		return nil, stats, timings, fmt.Errorf("mr: job %s: %w", p.Jobs[limit].Name, failErr)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -110,10 +111,19 @@ func (b *batcher) flush() {
 			sub.done <- batchOutcome{res: res, cacheHit: hit, batchSize: size, outputs: outputs, err: err}
 		}
 	}
+	// A batch outlives any single submitter (one run answers many
+	// requests, and submitters may disconnect at different times), so
+	// the run executes under a server-owned context rather than any one
+	// request's: batch=true queries are not canceled by client
+	// disconnects, only by the per-query deadline and the abort
+	// endpoint, both of which runQuery applies itself.
+	//lint:ignore ctxpass a merged batch run is shared by many requests; no single request context can own it (see comment above)
+	ctx := context.Background()
+
 	// runGroup evaluates one distinct query on behalf of all of its
 	// submissions.
 	runGroup := func(g *group) {
-		res, hit, err := b.srv.runQuery(b.dbe, g.q, strategyAuto)
+		res, hit, err := b.srv.runQuery(ctx, b.dbe, g.q, strategyAuto)
 		if err == nil && len(g.subs) >= 2 {
 			b.srv.batchRuns.Add(1)
 		}
@@ -131,7 +141,7 @@ func (b *batcher) flush() {
 		outputs[i] = g.q.Name()
 	}
 	if merged, err := gumbo.Merge(queries...); err == nil {
-		res, hit, rerr := b.srv.runQuery(b.dbe, merged, strategyAuto)
+		res, hit, rerr := b.srv.runQuery(ctx, b.dbe, merged, strategyAuto)
 		if rerr == nil {
 			b.srv.batchRuns.Add(1)
 			for _, g := range groups {

@@ -30,6 +30,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -85,6 +86,12 @@ type Config struct {
 	// oversized load must not be able to exhaust the daemon's memory
 	// before validation even starts.
 	MaxBodyBytes int64
+	// QueryTimeout bounds each query execution (admission wait included):
+	// a run past the deadline stops at its next task boundary and the
+	// request fails with HTTP 504. 0 disables the deadline. Queries are
+	// also canceled when the client disconnects or an abort is requested
+	// via the query registry (DELETE /v1/db/{db}/query/{id}).
+	QueryTimeout time.Duration
 	// Options are applied to the shared gumbo.System after
 	// WithHostWorkers (e.g. gumbo.WithScale for scaled-down costs).
 	Options []gumbo.Option
@@ -99,15 +106,25 @@ type Server struct {
 	window   time.Duration
 	maxBatch int
 	maxBody  int64
+	timeout  time.Duration // per-query deadline (Config.QueryTimeout)
 
 	mu    sync.RWMutex
 	dbs   map[string]*dbEntry
 	dbSeq atomic.Uint64 // dbEntry id allocator
 
+	// inflight is the registry of currently executing (or
+	// admission-queued) plan runs, keyed by a server-lifetime query id:
+	// the progress endpoint lists it, the abort endpoint cancels through
+	// it. Entries live exactly as long as their runQuery call.
+	qmu      sync.Mutex
+	inflight map[uint64]*queryInfo
+	qSeq     atomic.Uint64 // query id allocator
+
 	queries        atomic.Uint64 // client queries received
 	batchRuns      atomic.Uint64 // merged multi-query runs
 	batchedQueries atomic.Uint64 // client queries answered by merged runs
 	mergeFallbacks atomic.Uint64 // batches that could not run merged
+	aborted        atomic.Uint64 // queries canceled via the abort endpoint
 	active         atomic.Int64  // plan executions currently admitted
 }
 
@@ -151,7 +168,9 @@ func New(cfg Config) *Server {
 		window:   window,
 		maxBatch: maxBatch,
 		maxBody:  maxBody,
+		timeout:  cfg.QueryTimeout,
 		dbs:      make(map[string]*dbEntry),
+		inflight: make(map[uint64]*queryInfo),
 	}
 }
 
@@ -169,6 +188,8 @@ func (s *Server) System() *gumbo.System { return s.sys }
 //	DELETE /v1/db/{db}           drop a database
 //	POST   /v1/db/{db}/load      bulk-load relations
 //	POST   /v1/db/{db}/query     evaluate an SGF query
+//	GET    /v1/db/{db}/queries   list in-flight queries with progress
+//	DELETE /v1/db/{db}/query/{id} abort an in-flight query
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +202,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/db/{db}", s.handleDropDB)
 	mux.HandleFunc("POST /v1/db/{db}/load", s.handleLoad)
 	mux.HandleFunc("POST /v1/db/{db}/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/db/{db}/queries", s.handleListQueries)
+	mux.HandleFunc("DELETE /v1/db/{db}/query/{id}", s.handleAbortQuery)
 	return mux
 }
 
@@ -189,20 +212,41 @@ func (s *Server) Handler() http.Handler {
 // via System.Auto. Returns the result and whether the plan was a cache
 // hit.
 //
+// Lifecycle: the run is registered in the in-flight query registry for
+// its whole duration (admission wait included), so it is visible to
+// the queries endpoint and abortable through the abort endpoint. ctx
+// cancellation — client disconnect, the per-query deadline
+// (Config.QueryTimeout), or an abort — unblocks the admission wait and
+// stops an executing run at its next task boundary; the admission slot
+// is released either way.
+//
 // The generation is read once, before the cache lookup: a load that
 // lands between the read and the run may or may not be visible to the
 // run (the same holds for a direct library call), but the cache key is
 // consistent — a plan is only ever reused for the exact generation it
 // was stored under.
-func (s *Server) runQuery(dbe *dbEntry, q *gumbo.Query, strategy gumbo.Strategy) (*gumbo.Result, bool, error) {
+func (s *Server) runQuery(ctx context.Context, dbe *dbEntry, q *gumbo.Query, strategy gumbo.Strategy) (*gumbo.Result, bool, error) {
 	if strategy == strategyAuto {
 		strategy = s.sys.Auto(q)
 	}
+	if s.timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, s.timeout)
+		defer cancelTimeout()
+	}
+	ctx, qi := s.register(ctx, dbe.name, q, strategy)
+	defer s.unregister(qi)
 	// The admission slot covers planning too: on a cache miss,
 	// cost-based planning samples the database (real engine work that
-	// must not run unbounded).
-	s.sem <- struct{}{}
+	// must not run unbounded). A canceled query gives up its place in
+	// the admission queue immediately.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
 	s.active.Add(1)
+	qi.markRunning()
 	defer func() {
 		s.active.Add(-1)
 		<-s.sem
@@ -218,7 +262,7 @@ func (s *Server) runQuery(dbe *dbEntry, q *gumbo.Query, strategy gumbo.Strategy)
 		}
 		s.cache.put(key, plan)
 	}
-	res, err := s.sys.RunPlan(plan, dbe.db)
+	res, err := s.sys.RunPlanObserved(ctx, plan, dbe.db, qi.progress)
 	return res, hit, err
 }
 
@@ -476,11 +520,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Batch && s.window > 0 {
 		out = dbe.batcher.submit(q)
 	} else {
-		res, hit, err := s.runQuery(dbe, q, strategy)
+		res, hit, err := s.runQuery(r.Context(), dbe, q, strategy)
 		out = batchOutcome{res: res, cacheHit: hit, batchSize: 1, outputs: []string{q.Name()}, err: err}
 	}
 	if out.err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", out.err)
+		writeError(w, queryErrorStatus(out.err), "%v", out.err)
 		return
 	}
 	rel := out.res.Outputs.Relation(q.Name())
@@ -515,6 +559,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	ndbs := len(s.dbs)
 	s.mu.RUnlock()
+	s.qmu.Lock()
+	nflight := len(s.inflight)
+	s.qmu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"databases":          ndbs,
 		"queries":            s.queries.Load(),
@@ -526,6 +573,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"plan_cache_size":    size,
 		"active_runs":        s.active.Load(),
 		"admission_capacity": cap(s.sem),
+		"inflight_queries":   nflight,
+		"queries_aborted":    s.aborted.Load(),
 	})
 }
 
