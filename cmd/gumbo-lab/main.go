@@ -9,6 +9,7 @@
 //	gumbo-lab -seeds 5 -widths 1,2,8 -guard-tuples 500 -out lab
 //	gumbo-lab -short
 //	gumbo-lab -cancel -seeds 5
+//	gumbo-lab -faults -seeds 5
 //
 // Exit status is 1 when any divergence is found (each is reported with
 // a minimal shrunken reproduction), 0 on a clean sweep. With -out P the
@@ -20,6 +21,13 @@
 // contract: context.Canceled within a bounded number of task grants,
 // untouched input data, no goroutine leaks, and a bit-for-bit clean
 // re-run afterwards.
+//
+// With -faults the sweep injects failures instead: each scenario (run
+// with spill forced on) gets a task panic at a seeded random grant
+// index and a memory budget seeded below its real charge, checking the
+// typed errors (re-raised sentinel, gumbo.ErrBudgetExceeded), untouched
+// input data, no goroutine or spill temp-file leaks, and bit-for-bit
+// clean re-runs.
 package main
 
 import (
@@ -43,6 +51,7 @@ func main() {
 		noShrink    = flag.Bool("no-shrink", false, "skip shrinking failing scenarios")
 		short       = flag.Bool("short", false, "small smoke sweep: few seeds, small data, widths 1,2")
 		cancelMode  = flag.Bool("cancel", false, "cancellation sweep: cancel each scenario at a seeded task boundary and check clean teardown")
+		faultsMode  = flag.Bool("faults", false, "fault sweep: inject task panics and budget exhaustion, check typed errors and clean teardown")
 		out         = flag.String("out", "", "output path prefix for TSV/JSON reports")
 	)
 	flag.Parse()
@@ -71,6 +80,19 @@ func main() {
 	swcfg.Shrink = !*noShrink
 
 	scenarios := lab.GenScenarios(*seeds, scfg)
+	if *faultsMode {
+		fmt.Printf("fault-sweeping %d scenarios\n", len(scenarios))
+		rep := lab.RunFaultSweep(scenarios, swcfg)
+		fmt.Printf("%d fault injections across %d scenarios, %d violations\n",
+			rep.Checks, rep.Scenarios, len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "FAULT VIOLATION %s [%s @ %d]: %s\n", f.Scenario, f.Mode, f.Boundary, f.Detail)
+		}
+		if len(rep.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *cancelMode {
 		fmt.Printf("cancel-sweeping %d scenarios\n", len(scenarios))
 		rep := lab.RunCancelSweep(scenarios, swcfg)

@@ -9,6 +9,8 @@
 //	gumbo-serve [-addr :8080] [-workers N] [-jobs N]
 //	            [-cache 128] [-batch-window 2ms] [-max-batch 16]
 //	            [-query-timeout 0] [-scale 0.001]
+//	            [-mem-budget 0] [-query-mem 0]
+//	            [-spill-threshold 0] [-spill-dir DIR]
 package main
 
 import (
@@ -38,6 +40,10 @@ func main() {
 		maxBody      = flag.Int64("max-body", 32<<20, "request body size cap in bytes")
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query deadline incl. admission wait; expired runs return 504 (0 disables)")
 		scale        = flag.Float64("scale", 1, "cost-model scale factor (fraction of the paper's data sizes)")
+		memBudget    = flag.Int64("mem-budget", 0, "server-wide memory budget in bytes; saturated admission returns 503 (0 = unlimited)")
+		queryMem     = flag.Int64("query-mem", 0, "per-query memory budget in bytes; over-budget queries return 413 (0 = unlimited)")
+		spillThresh  = flag.Int64("spill-threshold", 0, "spill shuffle partitions at this many bytes (0 = GUMBO_SPILL_THRESHOLD env, negative = off)")
+		spillDir     = flag.String("spill-dir", "", "directory for spill temp files (empty = system temp dir)")
 	)
 	flag.Parse()
 
@@ -49,6 +55,10 @@ func main() {
 		MaxBatch:       *maxBatch,
 		MaxBodyBytes:   *maxBody,
 		QueryTimeout:   *queryTimeout,
+		MemBudget:      *memBudget,
+		QueryMemBudget: *queryMem,
+		SpillThreshold: *spillThresh,
+		SpillDir:       *spillDir,
 	}
 	if *scale != 1 {
 		cfg.Options = append(cfg.Options, gumbo.WithScale(*scale))

@@ -70,6 +70,16 @@ type (
 	Progress = mr.Progress
 	// ProgressSnapshot is a point-in-time copy of a run's task counters.
 	ProgressSnapshot = mr.ProgressSnapshot
+	// Budget is a per-query memory budget: the engine charges a run's
+	// bulk allocations (arena chunks, shuffle partitions, merge shards,
+	// spill buffers) against it and aborts the run with
+	// ErrBudgetExceeded when the cumulative total passes the limit.
+	// Charges are modelled quantities — a given plan over a given
+	// database charges the same total at every parallelism setting, so
+	// whether a budget suffices is deterministic.
+	Budget = mr.Budget
+	// MemStats is the memory accounting of one run (see Result.Mem).
+	MemStats = mr.MemStats
 	// CostConfig holds the MapReduce cost-model constants (Table 1/5).
 	CostConfig = cost.Config
 	// Strategy selects an evaluation strategy.
@@ -93,6 +103,17 @@ const (
 	HPARS     = baselines.StrategyHPARS
 	PPAR      = baselines.StrategyPPAR
 )
+
+// ErrBudgetExceeded is the sentinel a run's error matches (errors.Is)
+// when the run charged past its memory budget. The concrete error also
+// carries the limit and the charged/requested totals.
+var ErrBudgetExceeded = mr.ErrBudgetExceeded
+
+// NewBudget returns a budget aborting runs that charge more than limit
+// bytes (0 = unlimited, accounting only). A Budget governs one run:
+// charges accumulate and are never released, so pass a fresh Budget to
+// each RunPlanGoverned call.
+func NewBudget(limit int64) *Budget { return mr.NewBudget(limit) }
 
 // Int returns the Value for a non-negative integer.
 func Int(n int64) Value { return relation.Int(n) }
@@ -128,10 +149,12 @@ func DefaultCostConfig() CostConfig { return cost.Default() }
 // services that need a stable snapshot should key work off
 // Database.Generation, as internal/server does.
 type System struct {
-	costCfg     cost.Config
-	clusterCfg  cluster.Config
-	hostWorkers int
-	runner      *exec.Runner
+	costCfg        cost.Config
+	clusterCfg     cluster.Config
+	hostWorkers    int
+	spillThreshold int64
+	spillDir       string
+	runner         *exec.Runner
 }
 
 // Option configures a System.
@@ -175,6 +198,19 @@ func WithHostWorkers(workers int) Option {
 	return func(s *System) { s.hostWorkers = workers }
 }
 
+// WithSpill enables shuffle spill-to-disk: a shuffle partition whose
+// modelled bytes reach threshold is written to a temp file under dir
+// ("" = os.TempDir) and streamed back by the reduce stage, bounding the
+// resident intermediate state of large shuffles. Outputs, stats and
+// metrics are bit-for-bit identical to the in-memory path. threshold 0
+// defers to the GUMBO_SPILL_THRESHOLD environment variable (unset =
+// spill off); negative disables spill unconditionally. Temp files never
+// outlive the run — completed, canceled, over-budget and panicked runs
+// all remove them.
+func WithSpill(threshold int64, dir string) Option {
+	return func(s *System) { s.spillThreshold, s.spillDir = threshold, dir }
+}
+
 // WithHostParallelism is the earlier two-knob form of WithHostWorkers,
 // from when the engine bounded per-phase workers and concurrently
 // executing jobs separately. The unified task-graph scheduler has a
@@ -199,7 +235,9 @@ func New(opts ...Option) *System {
 	for _, o := range opts {
 		o(s)
 	}
-	s.runner = exec.NewRunner(s.costCfg, s.clusterCfg).WithHostWorkers(s.hostWorkers)
+	s.runner = exec.NewRunner(s.costCfg, s.clusterCfg).
+		WithHostWorkers(s.hostWorkers).
+		WithSpill(s.spillThreshold, s.spillDir)
 	return s
 }
 
@@ -224,6 +262,11 @@ type Result struct {
 	// JobStats. Host measurements: they vary run to run and are excluded
 	// from the determinism contract.
 	JobTimings []JobTiming
+	// Mem is the run's memory accounting: bytes charged at the engine's
+	// accounted allocation sites and spill activity. Charged/Spilled
+	// totals are modelled, schedule-independent quantities like
+	// JobStats.
+	Mem MemStats
 	// Plan describes the executed MR program.
 	Plan *Plan
 }
@@ -350,7 +393,7 @@ func (s *System) RunCtx(ctx context.Context, q *Query, db *Database, strategy St
 	if err != nil {
 		return nil, err
 	}
-	return s.runPlan(ctx, inner, q.Name(), db, nil)
+	return s.runPlan(ctx, inner, q.Name(), db, nil, nil)
 }
 
 // RunPlan executes a previously built plan against db. This is the
@@ -382,15 +425,27 @@ func (s *System) RunPlanCtx(ctx context.Context, plan *Plan, db *Database) (*Res
 // the run executes — this is the progress hook services poll without
 // waiting for the Result (see internal/server's queries endpoint).
 func (s *System) RunPlanObserved(ctx context.Context, plan *Plan, db *Database, prog *Progress) (*Result, error) {
+	return s.RunPlanGoverned(ctx, plan, db, prog, nil)
+}
+
+// RunPlanGoverned is RunPlanObserved charging the run's bulk
+// allocations to budget (one fresh Budget per run; nil runs unlimited
+// but still accounted, so Result.Mem is always populated). A run that
+// charges past the budget's limit aborts like a cancellation — nil
+// Result, the input database untouched, no goroutines or temp files
+// left — with an error matching ErrBudgetExceeded via errors.Is. This
+// is the admission-control hook internal/server builds its degradation
+// ladder on.
+func (s *System) RunPlanGoverned(ctx context.Context, plan *Plan, db *Database, prog *Progress, budget *Budget) (*Result, error) {
 	output := plan.output
 	if output == "" && len(plan.inner.Outputs) > 0 {
 		output = plan.inner.Outputs[len(plan.inner.Outputs)-1]
 	}
-	return s.runPlan(ctx, plan.inner, output, db, prog)
+	return s.runPlan(ctx, plan.inner, output, db, prog, budget)
 }
 
-func (s *System) runPlan(ctx context.Context, inner *core.Plan, output string, db *Database, prog *Progress) (*Result, error) {
-	res, err := s.runner.RunObserved(ctx, inner, db, prog)
+func (s *System) runPlan(ctx context.Context, inner *core.Plan, output string, db *Database, prog *Progress, budget *Budget) (*Result, error) {
+	res, err := s.runner.RunGoverned(ctx, inner, db, prog, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -400,8 +455,18 @@ func (s *System) runPlan(ctx context.Context, inner *core.Plan, output string, d
 		Metrics:    res.Metrics,
 		JobStats:   res.JobStats,
 		JobTimings: res.Timings,
+		Mem:        res.Mem,
 		Plan:       &Plan{inner: inner, output: output},
 	}, nil
+}
+
+// PredictBytes estimates how many bytes executing plan against db will
+// charge against its budget: deduplicated base-input bytes plus sampled
+// intermediate sizes for first-round jobs (later rounds read produced
+// relations, unknowable before the run). A planning-time figure for
+// admission control — same order as the real charge, not a bound.
+func (s *System) PredictBytes(plan *Plan, db *Database) int64 {
+	return s.runner.PredictPlanBytes(plan.inner, db)
 }
 
 // Auto picks a strategy for q by structure, cheapest applicable shape

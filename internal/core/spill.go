@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// Spill codecs for the engine's shuffle spill-to-disk (mr.SpillMessage):
+// every message type core shuffles can round-trip through a spill file,
+// so any Gumbo query's shuffle partitions are spillable. The encodings
+// only need in-process fidelity — spill files never outlive the run —
+// so interned string handles travel as their raw int64 values.
+
+// Spill tags of core's message types. Tag 0 is reserved by mr for
+// Packed; core claims 1–5.
+const (
+	spillTagReqID    = 1
+	spillTagAssert   = 2
+	spillTagReqTuple = 3
+	spillTagTupleVal = 4
+	spillTagXIndex   = 5
+)
+
+func appendSpillTuple(dst []byte, t relation.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+func decodeSpillTuple(b []byte) (relation.Tuple, []byte, bool) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, nil, false
+	}
+	b = b[w:]
+	t := make(relation.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, false
+		}
+		t = append(t, relation.Value(v))
+		b = b[w:]
+	}
+	return t, b, true
+}
+
+// SpillTag implements mr.SpillMessage.
+func (m ReqID) SpillTag() byte { return spillTagReqID }
+
+// AppendSpill implements mr.SpillMessage.
+func (m ReqID) AppendSpill(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(m.Eq))
+	return binary.AppendVarint(dst, m.ID)
+}
+
+// SpillTag implements mr.SpillMessage.
+func (m Assert) SpillTag() byte { return spillTagAssert }
+
+// AppendSpill implements mr.SpillMessage.
+func (m Assert) AppendSpill(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(m.Class))
+}
+
+// SpillTag implements mr.SpillMessage.
+func (m ReqTuple) SpillTag() byte { return spillTagReqTuple }
+
+// AppendSpill implements mr.SpillMessage.
+func (m ReqTuple) AppendSpill(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(m.Q))
+	dst = binary.AppendVarint(dst, int64(m.Disjunct))
+	return appendSpillTuple(dst, m.Out)
+}
+
+// SpillTag implements mr.SpillMessage.
+func (m TupleVal) SpillTag() byte { return spillTagTupleVal }
+
+// AppendSpill implements mr.SpillMessage.
+func (m TupleVal) AppendSpill(dst []byte) []byte {
+	return appendSpillTuple(dst, m.T)
+}
+
+// SpillTag implements mr.SpillMessage.
+func (m XIndex) SpillTag() byte { return spillTagXIndex }
+
+// AppendSpill implements mr.SpillMessage.
+func (m XIndex) AppendSpill(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(m.Atom))
+}
+
+func init() {
+	mr.RegisterSpillDecoder(spillTagReqID, func(b []byte) (mr.Message, []byte, error) {
+		eq, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillDecode
+		}
+		b = b[w:]
+		id, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillDecode
+		}
+		return ReqID{Eq: int32(eq), ID: id}, b[w:], nil
+	})
+	mr.RegisterSpillDecoder(spillTagAssert, func(b []byte) (mr.Message, []byte, error) {
+		class, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillDecode
+		}
+		return Assert{Class: int32(class)}, b[w:], nil
+	})
+	mr.RegisterSpillDecoder(spillTagReqTuple, func(b []byte) (mr.Message, []byte, error) {
+		q, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillDecode
+		}
+		b = b[w:]
+		d, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillDecode
+		}
+		out, rest, ok := decodeSpillTuple(b[w:])
+		if !ok {
+			return nil, nil, errSpillDecode
+		}
+		return ReqTuple{Q: int32(q), Disjunct: int32(d), Out: out}, rest, nil
+	})
+	mr.RegisterSpillDecoder(spillTagTupleVal, func(b []byte) (mr.Message, []byte, error) {
+		t, rest, ok := decodeSpillTuple(b)
+		if !ok {
+			return nil, nil, errSpillDecode
+		}
+		return TupleVal{T: t}, rest, nil
+	})
+	mr.RegisterSpillDecoder(spillTagXIndex, func(b []byte) (mr.Message, []byte, error) {
+		atom, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillDecode
+		}
+		return XIndex{Atom: int32(atom)}, b[w:], nil
+	})
+}
+
+var errSpillDecode = errSpill("core: spill: corrupt message encoding")
+
+type errSpill string
+
+func (e errSpill) Error() string { return string(e) }
+
+var (
+	_ mr.SpillMessage = ReqID{}
+	_ mr.SpillMessage = Assert{}
+	_ mr.SpillMessage = ReqTuple{}
+	_ mr.SpillMessage = TupleVal{}
+	_ mr.SpillMessage = XIndex{}
+)

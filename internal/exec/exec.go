@@ -55,6 +55,18 @@ func (r *Runner) WithHostWorkers(workers int) *Runner {
 	return r
 }
 
+// WithSpill configures shuffle spill-to-disk on the underlying engine:
+// shuffle partitions whose modelled bytes reach threshold are written
+// to temp files under dir ("" = os.TempDir) and streamed back by the
+// reduce stage; outputs and stats are bit-for-bit unchanged (see
+// mr.Engine.SpillThreshold for the 0 / negative conventions). Returns
+// r. Must be called before the Runner is shared between goroutines.
+func (r *Runner) WithSpill(threshold int64, dir string) *Runner {
+	r.Engine.SpillThreshold = threshold
+	r.Engine.SpillDir = dir
+	return r
+}
+
 // Result is the outcome of running one plan.
 type Result struct {
 	Plan     *core.Plan
@@ -65,6 +77,11 @@ type Result struct {
 	// to run and are excluded from the determinism contract (see
 	// mr.JobTiming).
 	Timings []mr.JobTiming
+	// Mem is the run's memory accounting: bytes charged against the
+	// query budget at the engine's accounted allocation sites, and spill
+	// activity. Charged/Spilled totals are modelled quantities —
+	// schedule-independent like JobStats (see mr.Budget).
+	Mem     mr.MemStats
 	Metrics mr.Metrics
 	Sim     cluster.Result
 }
@@ -95,7 +112,19 @@ func (r *Runner) RunCtx(ctx context.Context, plan *core.Plan, db *relation.Datab
 // counters into prog when non-nil (one fresh mr.Progress per run; see
 // mr.RunProgramObserved for the cancellation contract).
 func (r *Runner) RunObserved(ctx context.Context, plan *core.Plan, db *relation.Database, prog *mr.Progress) (*Result, error) {
-	outputs, stats, timings, err := r.Engine.RunProgramObserved(ctx, plan.Program(), db, prog)
+	return r.RunGoverned(ctx, plan, db, prog, nil)
+}
+
+// RunGoverned is RunObserved charging the run's bulk allocations to
+// budget. A nil budget runs unlimited but still accounted, so
+// Result.Mem is always populated. When the run charges past the
+// budget's limit it aborts with an error matching mr.ErrBudgetExceeded
+// (errors.Is), nil Result, and the input database untouched.
+func (r *Runner) RunGoverned(ctx context.Context, plan *core.Plan, db *relation.Database, prog *mr.Progress, budget *mr.Budget) (*Result, error) {
+	if budget == nil {
+		budget = mr.NewBudget(0)
+	}
+	outputs, stats, timings, err := r.Engine.RunProgramGoverned(ctx, plan.Program(), db, prog, budget)
 	if err != nil {
 		return nil, fmt.Errorf("exec: plan %s: %w", plan.Name, err)
 	}
@@ -139,9 +168,46 @@ func (r *Runner) RunObserved(ctx context.Context, plan *core.Plan, db *relation.
 		Outputs:  outputs,
 		JobStats: stats,
 		Timings:  timings,
+		Mem:      budget.Stats(),
 		Metrics:  m,
 		Sim:      sim,
 	}, nil
+}
+
+// PredictPlanBytes estimates, before running, how many bytes a plan's
+// execution will charge against its budget: the deduplicated base-input
+// bytes (shuffle partitions hold roughly what the mappers read) plus
+// the sampled intermediate sizes of every job whose inputs all exist in
+// db (later-round jobs read produced relations, unknowable before the
+// run; the admission ladder only needs a same-order figure, not a
+// bound). Used by the server to size a query's initial reservation
+// against the global memory budget.
+func (r *Runner) PredictPlanBytes(plan *core.Plan, db *relation.Database) int64 {
+	var total int64
+	seen := make(map[string]bool)
+	for _, job := range plan.Jobs {
+		known := true
+		for _, name := range job.Inputs {
+			rel := db.Relation(name)
+			if rel == nil {
+				known = false
+				continue
+			}
+			if !seen[name] {
+				seen[name] = true
+				total += rel.Bytes()
+			}
+		}
+		if !known {
+			continue
+		}
+		if parts, err := r.Engine.Sample(job, db); err == nil {
+			for _, p := range parts {
+				total += int64(p.InterMB * (1 << 20))
+			}
+		}
+	}
+	return total
 }
 
 // ModelledPlanCost prices an executed plan after the fact with measured

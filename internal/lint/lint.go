@@ -17,6 +17,7 @@ import (
 	"repro/internal/lint/deprecatedknob"
 	"repro/internal/lint/keyretain"
 	"repro/internal/lint/mapiter"
+	"repro/internal/lint/memcharge"
 	"repro/internal/lint/rawgo"
 	"repro/internal/lint/readset"
 	"repro/internal/lint/taskblock"
@@ -29,6 +30,7 @@ func Analyzers() []*analysis.Analyzer {
 		deprecatedknob.Analyzer,
 		keyretain.Analyzer,
 		mapiter.Analyzer,
+		memcharge.Analyzer,
 		rawgo.Analyzer,
 		readset.Analyzer,
 		taskblock.Analyzer,

@@ -1,0 +1,71 @@
+// Package memcharge flags direct []byte allocation in the engine
+// package outside the accounted allocation helper.
+//
+// Contract (docs/INVARIANTS.md, "Memory accounting"): every bulk byte
+// buffer the engine materializes for a run — arena chunks, spill encode
+// scratch, spill read buffers — must be charged to the run's mr.Budget
+// before use, so per-query budgets observe real allocation and
+// over-budget aborts stay deterministic. The single sanctioned way to
+// obtain such a buffer is grabBytes(budget, n) (budget.go), which
+// charges first and allocates second. A raw make([]byte, ...) anywhere
+// else in the engine is a buffer the budget cannot see.
+//
+// The check applies to non-test files of packages named "mr"; the
+// grabBytes helper itself is exempt (it is the accounting seam), and
+// genuinely unaccounted small allocations can carry
+// //lint:ignore memcharge with a justification.
+package memcharge
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "memcharge",
+	Doc:  "flags raw make([]byte, ...) in the engine package: bulk buffers must be charged to the run's Budget via grabBytes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "mr" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		filename := pass.Fset.File(f.Pos()).Name()
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == "grabBytes" {
+				return false // the accounting seam: charges, then allocates
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMake(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			if t := pass.TypesInfo.Types[call.Args[0]].Type; t != nil && lintutil.IsByteSlice(t) {
+				pass.Reportf(call.Pos(), "unaccounted []byte allocation in the engine package: use grabBytes(budget, n) so the run's memory budget observes it (genuinely unaccounted buffers carry //lint:ignore memcharge)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMake reports whether call invokes the make builtin.
+func isMake(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}

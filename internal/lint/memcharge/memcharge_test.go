@@ -1,0 +1,12 @@
+package memcharge_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/memcharge"
+)
+
+func TestMemCharge(t *testing.T) {
+	analysistest.Run(t, "../testdata", memcharge.Analyzer, "lintest/memcharge")
+}

@@ -1,0 +1,41 @@
+// Testdata for the memcharge analyzer. The package is named mr because
+// the check is scoped to the engine package.
+package mr
+
+type budget struct{}
+
+func (b *budget) charge(n int64) {}
+
+// grabBytes is the sanctioned accounting seam: exempt by name.
+func grabBytes(b *budget, n int) []byte {
+	b.charge(int64(n))
+	return make([]byte, n)
+}
+
+func growArena(n int) []byte {
+	return make([]byte, n) // want `unaccounted \[\]byte allocation`
+}
+
+func growWithCap(n int) []byte {
+	buf := make([]byte, 0, n) // want `unaccounted \[\]byte allocation`
+	return buf
+}
+
+type chunk []byte
+
+func namedByteSlice(n int) chunk {
+	return make(chunk, n) // want `unaccounted \[\]byte allocation`
+}
+
+func notBytes(n int) []int {
+	return make([]int, n)
+}
+
+func accounted(b *budget, n int) []byte {
+	return grabBytes(b, n)
+}
+
+func sanctionedSmall() []byte {
+	//lint:ignore memcharge testdata: pins that suppression covers the next line
+	return make([]byte, 8)
+}

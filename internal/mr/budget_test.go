@@ -1,0 +1,209 @@
+package mr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// chargedBytes runs the golden diamond program to completion under a
+// count-only budget and returns its cumulative charge. spillThreshold
+// -1 keeps spill off regardless of the CI gate's environment override.
+func chargedBytes(t *testing.T, width int, spillThreshold int64, spillDir string) int64 {
+	t.Helper()
+	p, db := diamondProgram()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.Parallelism = width
+	e.SpillThreshold = spillThreshold
+	e.SpillDir = spillDir
+	budget := NewBudget(0)
+	if _, _, _, err := e.RunProgramGoverned(context.Background(), p, db, nil, budget); err != nil {
+		t.Fatalf("width %d: clean governed run failed: %v", width, err)
+	}
+	return budget.Stats().ChargedBytes
+}
+
+// TestBudgetChargedDeterministicAcrossWidths pins the accounting
+// contract's core property: the total charged over a clean run is a
+// function of the plan and the data alone — identical at every pool
+// width, with spill off and with every partition spilling. (This is
+// what makes the over-budget trip deterministic rather than a
+// high-water-mark race.)
+func TestBudgetChargedDeterministicAcrossWidths(t *testing.T) {
+	for _, spill := range []struct {
+		name      string
+		threshold int64
+	}{{"nospill", -1}, {"spill", 1}} {
+		t.Run(spill.name, func(t *testing.T) {
+			dir := ""
+			if spill.threshold > 0 {
+				dir = t.TempDir()
+			}
+			base := chargedBytes(t, 1, spill.threshold, dir)
+			if base <= 0 {
+				t.Fatalf("sequential run charged %d bytes", base)
+			}
+			for _, width := range []int{4, runtime.GOMAXPROCS(0)} {
+				if got := chargedBytes(t, width, spill.threshold, dir); got != base {
+					t.Errorf("width %d charged %d bytes, width 1 charged %d", width, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestBudgetExceeded is the over-budget differential: a limit below a
+// clean run's total charge aborts the run at every pool width with an
+// error matching ErrBudgetExceeded, a nil outputs database, completed
+// jobs' stats bit-for-bit identical to the sequential oracle, and the
+// input database untouched. A clean re-run afterwards and a settled
+// goroutine count pin that nothing leaks across the aborts.
+func TestBudgetExceeded(t *testing.T) {
+	oracle := oracleStats(t)
+	baseline := runtime.NumGoroutine()
+	charged := chargedBytes(t, 4, -1, "")
+	if charged < 2 {
+		t.Fatalf("clean run charged only %d bytes", charged)
+	}
+	limit := charged / 2
+
+	seen := map[int]bool{}
+	for _, width := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if width < 1 || seen[width] {
+			continue
+		}
+		seen[width] = true
+		p, db := diamondProgram()
+		before := dbSignature(db)
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.Parallelism = width
+		e.SpillThreshold = -1
+		budget := NewBudget(limit)
+		outs, stats, _, err := e.RunProgramGoverned(context.Background(), p, db, nil, budget)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("width %d: err = %v, want ErrBudgetExceeded", width, err)
+		}
+		var be *BudgetExceededError
+		if !errors.As(err, &be) {
+			t.Fatalf("width %d: err %v does not unwrap to *BudgetExceededError", width, err)
+		}
+		if be.Limit != limit || be.Charged <= be.Limit || be.Requested <= 0 {
+			t.Errorf("width %d: implausible abort detail %+v (limit %d)", width, be, limit)
+		}
+		if outs != nil {
+			t.Fatalf("width %d: over-budget run returned an outputs database", width)
+		}
+		for _, st := range stats {
+			want, ok := oracle[st.Name]
+			if !ok {
+				t.Fatalf("width %d: completed job %q unknown to the oracle", width, st.Name)
+			}
+			if !statsEqual(st, want) {
+				t.Errorf("width %d: job %s stats diverge from oracle:\n%+v\nvs\n%+v",
+					width, st.Name, st, want)
+			}
+		}
+		if dbSignature(db) != before {
+			t.Fatalf("width %d: over-budget run mutated the input database", width)
+		}
+	}
+
+	// Clean re-run: the aborts polluted no process-global state.
+	p, db := diamondProgram()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.Parallelism = 4
+	e.SpillThreshold = -1
+	_, stats, err := e.RunProgram(p, db)
+	if err != nil {
+		t.Fatalf("clean re-run failed: %v", err)
+	}
+	if len(stats) != len(oracle) {
+		t.Fatalf("clean re-run completed %d jobs, oracle has %d", len(stats), len(oracle))
+	}
+	waitGoroutinesSettle(t, baseline)
+}
+
+// TestBudgetNilAndUnlimited: a nil *Budget is inert everywhere, and a
+// zero-limit budget counts without ever aborting.
+func TestBudgetNilAndUnlimited(t *testing.T) {
+	var b *Budget
+	b.charge(1 << 30) // must not panic
+	b.noteSpill(42)
+	if got := b.Stats(); got != (MemStats{}) {
+		t.Errorf("nil budget stats = %+v, want zero", got)
+	}
+	u := NewBudget(0)
+	u.charge(1 << 40) // unlimited: counts, never aborts
+	u.charge(1 << 40)
+	u.noteSpill(7)
+	got := u.Stats()
+	if got.ChargedBytes != 2<<40 || got.LimitBytes != 0 || got.SpilledBytes != 7 || got.SpilledParts != 1 {
+		t.Errorf("unlimited budget stats = %+v", got)
+	}
+	if n := NewBudget(-5); n.limit != 0 {
+		t.Errorf("negative limit normalized to %d, want 0 (count-only)", n.limit)
+	}
+}
+
+// TestBudgetErrorIs pins the errors.Is contract through wrapping: the
+// typed error matches the sentinel bare and however many fmt layers the
+// engine and API stack add.
+func TestBudgetErrorIs(t *testing.T) {
+	be := &BudgetExceededError{Limit: 10, Charged: 12, Requested: 4}
+	if !errors.Is(be, ErrBudgetExceeded) {
+		t.Fatalf("bare BudgetExceededError does not match the sentinel")
+	}
+	wrapped := fmt.Errorf("mr: program aborted: %w", fmt.Errorf("mr: job x: %w", be))
+	if !errors.Is(wrapped, ErrBudgetExceeded) {
+		t.Fatalf("wrapped BudgetExceededError does not match the sentinel")
+	}
+	var out *BudgetExceededError
+	if !errors.As(wrapped, &out) || out.Charged != 12 {
+		t.Fatalf("wrapped error does not unwrap to the typed value")
+	}
+}
+
+// TestPoolTaskAbort drives the pool seam the budget rides on directly:
+// a task panicking with taskAbort fails the run — runTasks returns the
+// carried error instead of re-raising — while a genuine task panic
+// still propagates to the caller with its original payload.
+func TestPoolTaskAbort(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := runTasks(context.Background(), 4, func(c *poolCtx) {
+		for i := 0; i < 8; i++ {
+			c.spawn(func(c *poolCtx) {})
+		}
+		c.spawn(func(c *poolCtx) { panic(taskAbort{err: sentinel}) })
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("runTasks err = %v, want the taskAbort payload", err)
+	}
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = runTasks(context.Background(), 4, func(c *poolCtx) {
+			c.spawn(func(c *poolCtx) { panic("kaboom") })
+		})
+	}()
+	if recovered != "kaboom" {
+		t.Fatalf("real task panic surfaced as %v, want the original payload", recovered)
+	}
+}
+
+// TestBudgetChargeAbortsFromTask: Budget.charge is only legal inside a
+// pool task — crossing the limit panics taskAbort, which the pool
+// converts into a run failure matching the sentinel.
+func TestBudgetChargeAbortsFromTask(t *testing.T) {
+	b := NewBudget(1)
+	err := runTasks(context.Background(), 2, func(c *poolCtx) {
+		c.spawn(func(c *poolCtx) { b.charge(100) })
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("charge past limit inside a task: err = %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -2,9 +2,12 @@ package mr
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +52,51 @@ type Engine struct {
 	// jobs; the task-graph scheduler has a single pool.)
 	Parallelism int
 	SampleEvery int // stride for Sample; 0 = 100
+
+	// SpillThreshold enables shuffle spill-to-disk: a map task's shuffle
+	// partition whose modelled bytes reach the threshold is written to a
+	// temp file and streamed back by the reduce stage (see spill.go);
+	// outputs and stats are bit-for-bit identical either way. 0 reads
+	// the GUMBO_SPILL_THRESHOLD environment variable (bytes; unset or
+	// invalid = spill off), negative disables spill unconditionally,
+	// positive is the threshold in bytes.
+	SpillThreshold int64
+	// SpillDir is where spill files are created ("" = os.TempDir).
+	SpillDir string
+}
+
+// govern bundles one run's resource-governance state: the byte budget
+// the run charges (nil = unaccounted) and the spill configuration.
+type govern struct {
+	budget    *Budget
+	spill     *spillSet // nil = spill off
+	threshold int64
+}
+
+// newGovern resolves the engine's spill knobs for one run.
+func (e *Engine) newGovern(b *Budget) govern {
+	t := e.SpillThreshold
+	if t == 0 {
+		t = envSpillThreshold()
+	}
+	if t <= 0 {
+		return govern{budget: b}
+	}
+	return govern{budget: b, spill: newSpillSet(e.SpillDir), threshold: t}
+}
+
+// envSpillThreshold reads GUMBO_SPILL_THRESHOLD, the CI spill gate's
+// hook for re-running the whole suite with every partition spilling.
+func envSpillThreshold() int64 {
+	v := os.Getenv("GUMBO_SPILL_THRESHOLD")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // NewEngine returns an engine with the given cost configuration.
@@ -72,9 +120,12 @@ type mapTaskResult struct {
 // sub-slices; when a chunk fills, a fresh one is started and the full
 // chunk stays alive through the records that point into it. Emitting a
 // record therefore allocates nothing per key — only one chunk per
-// ~keyArenaChunk bytes of key data.
+// ~keyArenaChunk bytes of key data. Chunks are charged to the run's
+// budget (nil = unaccounted) before use: the arena is one of the three
+// accounted allocation sites of the memory-governance contract.
 type keyArena struct {
-	buf []byte // current chunk; len grows monotonically within a chunk
+	buf    []byte // current chunk; len grows monotonically within a chunk
+	budget *Budget
 }
 
 const keyArenaChunk = 1 << 16
@@ -87,7 +138,7 @@ func (a *keyArena) hold(key []byte) []byte {
 		if len(key) > n {
 			n = len(key)
 		}
-		a.buf = make([]byte, 0, n)
+		a.buf = grabBytes(a.budget, n)[:0]
 	}
 	start := len(a.buf)
 	a.buf = append(a.buf, key...)
@@ -132,7 +183,9 @@ func (e *Engine) RunJobCtx(ctx context.Context, job *Job, db *relation.Database)
 		}
 		rels[i] = rel
 	}
-	jr := e.newJobRun(job, nil, nil)
+	gov := e.newGovern(nil)
+	defer gov.spill.cleanup()
+	jr := e.newJobRun(job, gov, nil, nil)
 	err := runTasks(ctx, e.workers(), func(c *poolCtx) {
 		jr.seed(c)
 		for part, rel := range rels {
@@ -140,7 +193,10 @@ func (e *Engine) RunJobCtx(ctx context.Context, job *Job, db *relation.Database)
 		}
 	})
 	if err != nil {
-		return nil, JobStats{}, fmt.Errorf("mr: job %s canceled: %w", job.Name, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, JobStats{}, fmt.Errorf("mr: job %s canceled: %w", job.Name, err)
+		}
+		return nil, JobStats{}, fmt.Errorf("mr: job %s aborted: %w", job.Name, err)
 	}
 	return jr.outputDB(), jr.stats, nil
 }

@@ -35,6 +35,10 @@ type jobRun struct {
 	e       *Engine
 	job     *Job
 	inflate float64
+	// gov is the run's resource governance: budget charges at the arena
+	// / shuffle-partition / merge-shard sites, and the shuffle spill
+	// configuration (shared across all jobs of a program run).
+	gov govern
 
 	// progress, when set, mirrors the stage counters into the run's
 	// live Progress observer (nil methods are no-ops, so the unobserved
@@ -89,15 +93,18 @@ type mapTaskSpec struct {
 	from, to int
 }
 
-// taskPartition is one map task's output partitioned by reducer.
+// taskPartition is one map task's output partitioned by reducer. A
+// spilled partition has parts == nil and its records in spill; loads
+// are computed before the spill decision and kept either way.
 type taskPartition struct {
 	parts [][]record
 	loads []int64
+	spill *spillPartition
 }
 
 // newJobRun prepares the task-graph state for one job. The job must
 // already have passed (*Job).validate.
-func (e *Engine) newJobRun(job *Job,
+func (e *Engine) newJobRun(job *Job, gov govern,
 	onOutput func(c *poolCtx, name string, rel *relation.Relation),
 	done func(c *poolCtx, jr *jobRun)) *jobRun {
 	inflate := job.InflateIntermediate
@@ -108,6 +115,7 @@ func (e *Engine) newJobRun(job *Job,
 		e:          e,
 		job:        job,
 		inflate:    inflate,
+		gov:        gov,
 		onOutput:   onOutput,
 		done:       done,
 		inputsLeft: len(job.Inputs),
@@ -175,7 +183,7 @@ func (jr *jobRun) mapTask(c *poolCtx, part, ti int) {
 		capHint = int(est*int64(n)/1024) + 8
 	}
 	recs := make([]record, 0, capHint)
-	var arena keyArena
+	arena := keyArena{budget: jr.gov.budget}
 	emit := emitInto(&arena, &recs)
 	for i := ts.from; i < ts.to; i++ {
 		job.Mapper.Map(input, i, ts.rel.Tuple(i), emit)
@@ -279,10 +287,16 @@ func (jr *jobRun) computeReducers() int {
 // shuffleTask partitions one map task's records by key hash with the
 // counted two-pass placement: count each reducer's records, carve
 // per-reducer sub-slices out of one backing array, then place — three
-// allocations per task regardless of the reducer count.
+// allocations per task regardless of the reducer count. The
+// partition's modelled bytes are charged to the run's budget (the
+// shuffle-partition accounting site); a partition at or past the spill
+// threshold is then serialized to a temp file and its in-memory
+// records dropped, provided every message is spillable (see spill.go).
 func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 	start := time.Now()
 	recs := jr.results[part][ti].records
+	taskBytes := jr.results[part][ti].bytes
+	jr.gov.budget.charge(taskBytes)
 	reducers := jr.reducers
 	tp := taskPartition{
 		parts: make([][]record, reducers),
@@ -308,6 +322,14 @@ func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 			p := target[i]
 			tp.parts[p] = append(tp.parts[p], r)
 		}
+	}
+	if jr.gov.spill != nil && taskBytes >= jr.gov.threshold && len(recs) > 0 && partitionSpillable(tp.parts) {
+		sp, err := jr.gov.spill.writePartition(&tp, jr.gov.budget)
+		if err != nil {
+			panic(taskAbort{err: err})
+		}
+		tp.parts = nil // the spill file owns the records now
+		tp.spill = sp
 	}
 	jr.taskParts[part][ti] = tp
 	jr.results[part][ti].records = nil // the partitioned copies own the records now
@@ -356,7 +378,12 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 	n := 0
 	for part := range jr.taskParts {
 		for ti := range jr.taskParts[part] {
-			n += len(jr.taskParts[part][ti].parts[ri])
+			tp := &jr.taskParts[part][ti]
+			if tp.spill != nil {
+				n += int(tp.spill.segs[ri].count)
+			} else {
+				n += len(tp.parts[ri])
+			}
 		}
 	}
 	partRecs := make([]record, 0, n)
@@ -364,7 +391,18 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 	for part := range jr.taskParts {
 		for ti := range jr.taskParts[part] {
 			tp := &jr.taskParts[part][ti]
-			partRecs = append(partRecs, tp.parts[ri]...)
+			if tp.spill != nil {
+				// Stream the spilled segment back in the same declared
+				// (part, task) slot the in-memory path concatenates in:
+				// the reducer sees an identical record sequence.
+				var err error
+				partRecs, err = tp.spill.appendSegment(partRecs, ri, jr.gov.budget)
+				if err != nil {
+					panic(taskAbort{err: err})
+				}
+			} else {
+				partRecs = append(partRecs, tp.parts[ri]...)
+			}
 			load += tp.loads[ri]
 		}
 	}
@@ -391,7 +429,16 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 func (jr *jobRun) reducesDone(c *poolCtx) {
 	// Every reduce task has concatenated its share; release the whole
 	// job's shuffle records now rather than when the program finishes
-	// (the jobRun stays reachable through the scheduler's closures).
+	// (the jobRun stays reachable through the scheduler's closures),
+	// and retire the job's consumed spill files (aborted runs instead
+	// sweep them in the entry points' deferred spillSet.cleanup).
+	for part := range jr.taskParts {
+		for ti := range jr.taskParts[part] {
+			if sp := jr.taskParts[part][ti].spill; sp != nil {
+				jr.gov.spill.drop(sp.f)
+			}
+		}
+	}
 	jr.taskParts = nil
 	jr.outNames = outputOrder(jr.job.Outputs)
 	jr.merged = make([]*relation.Relation, len(jr.outNames))
@@ -429,6 +476,9 @@ func (jr *jobRun) mergeTask(c *poolCtx, ni int) {
 	// and each sizing itself at full pool width would oversubscribe the
 	// host. Merge results are identical at every width.
 	merged := relation.Merge(name, jr.job.Outputs[name], srcs, c.spare())
+	// The merge-shard accounting site: the merged relation is charged
+	// before it is published to downstream consumers.
+	jr.gov.budget.charge(merged.Bytes())
 	jr.merged[ni] = merged
 	jr.outMB[ni] = mbOf(merged.Bytes())
 	if jr.onOutput != nil {

@@ -124,6 +124,7 @@ type taskPool struct {
 	pending   int   // spawned but unfinished tasks
 	panicked  any   // first task panic, re-raised on the runTasks caller
 	cancelErr error // context error that stopped the pool, under mu
+	failErr   error // first task-raised abort error (taskAbort), under mu
 
 	// hooks is the fault-injection seam installed via SetFaultHooks,
 	// captured once at pool construction; grants numbers the task grants
@@ -270,6 +271,26 @@ func (p *taskPool) abort(v any) {
 	p.mu.Unlock()
 }
 
+// taskAbort is the panic payload a task raises to fail the whole run
+// with an error instead of a programming-bug panic: the budget's
+// over-limit charge and the spill path's I/O failures use it. runOne
+// recognizes it and routes it to fail rather than abort, so runTasks
+// returns err to its caller instead of re-panicking.
+type taskAbort struct{ err error }
+
+// fail records a task-raised run error and stops the pool exactly like
+// cancel: workers finish their current task and exit at the next task
+// boundary, queued tasks are abandoned. The first error wins.
+func (p *taskPool) fail(err error) {
+	p.mu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.stopped.Store(true)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
 // cancel stops the pool on context cancellation, mirroring abort:
 // workers finish their current task and exit at the next task boundary
 // (never mid-task, so a task's writes into its pre-indexed slot are
@@ -285,15 +306,26 @@ func (p *taskPool) cancel(err error) {
 }
 
 // runOne executes t, converting a task panic into an abort so the
-// panic can be re-raised on the runTasks caller's goroutine.
+// panic can be re-raised on the runTasks caller's goroutine — except a
+// taskAbort payload, which fails the run with its error through the
+// cancellation machinery instead (budget exhaustion, spill I/O). The
+// Grant fault hook fires inside the recovered scope, so an injected
+// hook panic behaves exactly like a panic of the granted task itself.
 func (p *taskPool) runOne(c *poolCtx, t poolTask) {
 	defer func() {
 		if v := recover(); v != nil {
-			p.abort(v)
+			if ta, ok := v.(taskAbort); ok {
+				p.fail(ta.err)
+			} else {
+				p.abort(v)
+			}
 			return
 		}
 		p.finish()
 	}()
+	if h := p.hooks; h != nil && h.Grant != nil {
+		h.Grant(int(p.grants.Add(1) - 1))
+	}
 	t(c)
 }
 
@@ -348,9 +380,6 @@ func runTasks(ctx context.Context, workers int, seed poolTask) error {
 				if t == nil {
 					return
 				}
-				if h := p.hooks; h != nil && h.Grant != nil {
-					h.Grant(int(p.grants.Add(1) - 1))
-				}
 				p.runOne(c, t)
 			}
 		}(w)
@@ -360,6 +389,12 @@ func runTasks(ctx context.Context, workers int, seed poolTask) error {
 	watch.Wait()
 	if p.panicked != nil {
 		panic(p.panicked)
+	}
+	if p.failErr != nil {
+		// A task-raised run failure (budget exhaustion, spill I/O) wins
+		// over a concurrent cancel: the typed error is what the caller
+		// acts on, and the failure is what actually stopped the run.
+		return p.failErr
 	}
 	return ctx.Err()
 }

@@ -53,7 +53,7 @@ type consumerRef struct {
 // abandoned tasks. The returned error is ctx.Err() when the run was
 // canceled, nil otherwise. prog, when non-nil, observes live task
 // counters (one Progress per run).
-func (e *Engine) runPipelined(ctx context.Context, p *Program, working *relation.Database, workers, limit int, prog *Progress) ([]progResult, error) {
+func (e *Engine) runPipelined(ctx context.Context, p *Program, working *relation.Database, workers, limit int, prog *Progress, gov govern) ([]progResult, error) {
 	results := make([]progResult, len(p.Jobs))
 	prog.setJobsTotal(limit)
 	if limit == 0 {
@@ -76,7 +76,7 @@ func (e *Engine) runPipelined(ctx context.Context, p *Program, working *relation
 	runs := make([]*jobRun, limit)
 	for i := 0; i < limit; i++ {
 		i := i
-		runs[i] = e.newJobRun(p.Jobs[i],
+		runs[i] = e.newJobRun(p.Jobs[i], gov,
 			func(c *poolCtx, name string, rel *relation.Relation) {
 				// Publish before releasing dependents: consumers spawned
 				// below read the relation out of `working` or receive it

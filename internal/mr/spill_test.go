@@ -1,0 +1,310 @@
+package mr
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// Spill support for the test message type: intMsg travels under tag 250
+// as a varint. Registered at package init exactly like production
+// message types (internal/core registers its tags the same way) — which
+// also makes the whole mr test suite spill-capable under the CI spill
+// gate's GUMBO_SPILL_THRESHOLD override, so every golden and
+// differential test in the package re-runs with partitions spilling.
+const spillTagIntMsg = 250
+
+func (m intMsg) SpillTag() byte { return spillTagIntMsg }
+
+func (m intMsg) AppendSpill(dst []byte) []byte {
+	return binary.AppendVarint(dst, int64(m))
+}
+
+func init() {
+	RegisterSpillDecoder(spillTagIntMsg, func(b []byte) (Message, []byte, error) {
+		v, w := binary.Varint(b)
+		if w <= 0 {
+			return nil, nil, errSpillCorrupt
+		}
+		return intMsg(v), b[w:], nil
+	})
+}
+
+// spillFilesIn lists the spill temp files currently present in dir.
+func spillFilesIn(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "gumbo-spill-*"))
+	if err != nil {
+		t.Fatalf("glob spill dir: %v", err)
+	}
+	names := make([]string, 0, len(matches))
+	for _, m := range matches {
+		names = append(names, filepath.Base(m))
+	}
+	return names
+}
+
+// TestSpillDifferential is the spill correctness contract: with a
+// 1-byte threshold (every non-empty spillable partition goes to disk)
+// the golden diamond program's outputs and deep per-job stats are
+// bit-for-bit identical to a spill-disabled run, at pool widths 1, 4
+// and GOMAXPROCS — and the run actually spilled, with all temp files
+// retired by the time it returns.
+func TestSpillDifferential(t *testing.T) {
+	p, db := diamondProgram()
+	oracle := NewEngine(cost.Default().Scaled(0.001))
+	oracle.Parallelism = 1
+	oracle.SpillThreshold = -1 // spill off even under the CI gate's env override
+	wantOuts, wantStats, err := oracle.RunProgram(p, db)
+	if err != nil {
+		t.Fatalf("oracle run failed: %v", err)
+	}
+	wantSig := programSignature(t, wantOuts)
+
+	seen := map[int]bool{}
+	for _, width := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if width < 1 || seen[width] {
+			continue
+		}
+		seen[width] = true
+		dir := t.TempDir()
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.Parallelism = width
+		e.SpillThreshold = 1
+		e.SpillDir = dir
+		budget := NewBudget(0) // count-only: MemStats without a limit
+		outs, stats, _, err := e.RunProgramGoverned(context.Background(), p, db, nil, budget)
+		if err != nil {
+			t.Fatalf("width %d: spill run failed: %v", width, err)
+		}
+		if sig := programSignature(t, outs); sig != wantSig {
+			t.Errorf("width %d: spilled outputs differ from in-memory run", width)
+		}
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Errorf("width %d: spilled stats differ:\n%+v\nvs\n%+v", width, stats, wantStats)
+		}
+		mem := budget.Stats()
+		if mem.SpilledParts == 0 {
+			t.Errorf("width %d: threshold 1 spilled no partitions", width)
+		}
+		if mem.SpilledBytes <= 0 {
+			t.Errorf("width %d: spilled %d partitions but 0 bytes", width, mem.SpilledParts)
+		}
+		if mem.ChargedBytes <= 0 {
+			t.Errorf("width %d: run charged no bytes", width)
+		}
+		// Consumed spill files are dropped the moment the reduce stage
+		// finishes with them — a completed run leaves nothing behind.
+		if files := spillFilesIn(t, dir); len(files) != 0 {
+			t.Errorf("width %d: completed run left spill files %v", width, files)
+		}
+	}
+}
+
+// TestSpillRecordRoundTrip pins the record wire form directly: single,
+// engine-packed and Packed-message records survive encode → decode
+// bit-for-bit, and a truncated buffer is rejected rather than
+// misdecoded.
+func TestSpillRecordRoundTrip(t *testing.T) {
+	rs := []record{
+		{key: []byte("a"), msg: intMsg(7), size: 9},
+		{key: []byte("bee"), msg: Packed{Msgs: []Message{intMsg(1), intMsg(-2), intMsg(1 << 40)}}, size: 27},
+		{key: []byte{}, packed: []Message{intMsg(3), intMsg(-4)}, size: 16},
+	}
+	var buf []byte
+	boundaries := map[int]bool{0: true}
+	for i := range rs {
+		buf = appendSpillRecord(buf, &rs[i])
+		boundaries[len(buf)] = true
+	}
+	rest := buf
+	for i := range rs {
+		r, after, err := decodeSpillRecord(rest)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(r, rs[i]) {
+			t.Errorf("record %d round-tripped to %+v, want %+v", i, r, rs[i])
+		}
+		rest = after
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after decoding all records", len(rest))
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		if boundaries[len(buf)-cut] {
+			continue // a whole-record prefix decodes cleanly by design
+		}
+		if _, _, err := decodeAll(buf[:len(buf)-cut]); err == nil {
+			t.Errorf("truncating %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+// decodeAll decodes records until the buffer is exhausted or corrupt.
+func decodeAll(b []byte) ([]record, []byte, error) {
+	var rs []record
+	for len(b) > 0 {
+		r, rest, err := decodeSpillRecord(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs = append(rs, r)
+		b = rest
+	}
+	return rs, b, nil
+}
+
+// TestNonSpillablePartitionStaysInMemory: spilling is opt-in per
+// message type. A job whose messages do not implement SpillMessage
+// runs correctly under a 1-byte threshold — its partitions simply stay
+// in memory (SpilledParts 0), with outputs identical to a
+// spill-disabled run.
+func TestNonSpillablePartitionStaysInMemory(t *testing.T) {
+	mkJob := func() *Job {
+		return &Job{
+			Name:    "opaque",
+			Inputs:  []string{"R"},
+			Outputs: map[string]int{"O": 2},
+			Mapper: MapperFunc(func(input string, id int, tpl relation.Tuple, emit Emit) {
+				var kb [32]byte
+				emit(tpl.AppendKey(kb[:0]), opaqueMsg(int64(id)))
+			}),
+			Reducer: ReducerFunc(func(key []byte, msgs []Message, o *Output) {
+				o.Add("O", relation.TupleFromKeyBytes(key))
+			}),
+		}
+	}
+	db := testDB()
+	ref := NewEngine(cost.Default().Scaled(0.001))
+	ref.SpillThreshold = -1
+	wantOuts, wantStats, _, err := ref.RunProgramGoverned(context.Background(),
+		&Program{Jobs: []*Job{mkJob()}}, db, nil, nil)
+	if err != nil {
+		t.Fatalf("reference run failed: %v", err)
+	}
+
+	dir := t.TempDir()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.Parallelism = 4
+	e.SpillThreshold = 1
+	e.SpillDir = dir
+	budget := NewBudget(0)
+	outs, stats, _, err := e.RunProgramGoverned(context.Background(),
+		&Program{Jobs: []*Job{mkJob()}}, db, nil, budget)
+	if err != nil {
+		t.Fatalf("non-spillable run failed: %v", err)
+	}
+	if !outs.Relation("O").Equal(wantOuts.Relation("O")) {
+		t.Errorf("outputs differ from spill-disabled run")
+	}
+	if !reflect.DeepEqual(stats, wantStats) {
+		t.Errorf("stats differ:\n%+v\nvs\n%+v", stats, wantStats)
+	}
+	if mem := budget.Stats(); mem.SpilledParts != 0 {
+		t.Errorf("non-spillable messages spilled %d partitions", mem.SpilledParts)
+	}
+	if files := spillFilesIn(t, dir); len(files) != 0 {
+		t.Errorf("non-spillable run left spill files %v", files)
+	}
+}
+
+// opaqueMsg deliberately does not implement SpillMessage.
+type opaqueMsg int64
+
+func (m opaqueMsg) SizeBytes() int64 { return 8 }
+
+// TestSpillAbortLeavesNoTempFiles is the crash-safety contract: runs
+// that end early — canceled at a task boundary, or aborted by an
+// exhausted budget — remove every spill file on the unwind (the run
+// entry points defer spillSet.cleanup).
+func TestSpillAbortLeavesNoTempFiles(t *testing.T) {
+	// Measure a clean spill-on run's total charge so the budget case can
+	// pick a limit that is guaranteed to trip mid-run.
+	p, db := diamondProgram()
+	probe := NewEngine(cost.Default().Scaled(0.001))
+	probe.Parallelism = 4
+	probe.SpillThreshold = 1
+	probe.SpillDir = t.TempDir()
+	budget := NewBudget(0)
+	if _, _, _, err := probe.RunProgramGoverned(context.Background(), p, db, nil, budget); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	charged := budget.Stats().ChargedBytes
+	if charged < 2 {
+		t.Fatalf("probe run charged only %d bytes", charged)
+	}
+
+	t.Run("budget", func(t *testing.T) {
+		dir := t.TempDir()
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.Parallelism = 4
+		e.SpillThreshold = 1
+		e.SpillDir = dir
+		p, db := diamondProgram()
+		outs, _, _, err := e.RunProgramGoverned(context.Background(), p, db, nil, NewBudget(charged/2))
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+		}
+		if outs != nil {
+			t.Fatalf("over-budget run returned an outputs database")
+		}
+		if files := spillFilesIn(t, dir); len(files) != 0 {
+			t.Errorf("over-budget run left spill files %v", files)
+		}
+	})
+
+	t.Run("cancel", func(t *testing.T) {
+		dir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		restore := SetFaultHooks(FaultHooks{Grant: func(n int) {
+			if n == 5 {
+				cancel()
+			}
+		}})
+		defer restore()
+		e := NewEngine(cost.Default().Scaled(0.001))
+		e.Parallelism = 4
+		e.SpillThreshold = 1
+		e.SpillDir = dir
+		p, db := diamondProgram()
+		outs, _, _, err := e.RunProgramGoverned(ctx, p, db, nil, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if outs != nil {
+			t.Fatalf("canceled run returned an outputs database")
+		}
+		if files := spillFilesIn(t, dir); len(files) != 0 {
+			t.Errorf("canceled run left spill files %v", files)
+		}
+	})
+}
+
+// TestSpillEnvThreshold pins the CI gate's hook: SpillThreshold 0 reads
+// GUMBO_SPILL_THRESHOLD, a negative threshold wins over the
+// environment, and an unset/garbage variable leaves spill off.
+func TestSpillEnvThreshold(t *testing.T) {
+	t.Setenv("GUMBO_SPILL_THRESHOLD", "123")
+	e := NewEngine(cost.Default())
+	if gov := e.newGovern(nil); gov.spill == nil || gov.threshold != 123 {
+		t.Errorf("env threshold not honored: %+v", gov)
+	}
+	e.SpillThreshold = -1
+	if gov := e.newGovern(nil); gov.spill != nil {
+		t.Errorf("negative threshold did not disable spill")
+	}
+	t.Setenv("GUMBO_SPILL_THRESHOLD", "nope")
+	e.SpillThreshold = 0
+	if gov := e.newGovern(nil); gov.spill != nil {
+		t.Errorf("garbage env value enabled spill")
+	}
+}

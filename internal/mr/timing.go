@@ -2,6 +2,7 @@ package mr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/relation"
@@ -62,6 +63,17 @@ func (e *Engine) RunProgramTimedCtx(ctx context.Context, p *Program, db *relatio
 // completion first. The input database is never modified, canceled or
 // not: runs mutate only a private working copy.
 func (e *Engine) RunProgramObserved(ctx context.Context, p *Program, db *relation.Database, prog *Progress) (*relation.Database, []JobStats, []JobTiming, error) {
+	return e.RunProgramGoverned(ctx, p, db, prog, nil)
+}
+
+// RunProgramGoverned is RunProgramObserved charging the run's bulk
+// allocations — arena chunks, shuffle partitions, merge shards, spill
+// buffers — to budget (nil = unaccounted; see Budget). A run that
+// charges past the budget's limit stops on the cancellation path with
+// the same guarantees: nil outputs, completed jobs' stats bit-for-bit,
+// the input database untouched, no goroutines or temp files left — and
+// the returned error matches ErrBudgetExceeded via errors.Is.
+func (e *Engine) RunProgramGoverned(ctx context.Context, p *Program, db *relation.Database, prog *Progress, budget *Budget) (*relation.Database, []JobStats, []JobTiming, error) {
 	if err := p.Validate(db.Names()); err != nil {
 		return nil, nil, nil, err
 	}
@@ -77,7 +89,11 @@ func (e *Engine) RunProgramObserved(ctx context.Context, p *Program, db *relatio
 			break
 		}
 	}
-	results, ctxErr := e.runPipelined(ctx, p, working, e.workers(), limit, prog)
+	gov := e.newGovern(budget)
+	// Sweep unconsumed spill files however the run ends — completion,
+	// cancel, budget abort, or a task panic unwinding through us.
+	defer gov.spill.cleanup()
+	results, runErr := e.runPipelined(ctx, p, working, e.workers(), limit, prog, gov)
 	// Fold completed jobs in declared order so the outputs database and
 	// the stats slice are independent of the schedule.
 	outputs := relation.NewDatabase()
@@ -93,8 +109,11 @@ func (e *Engine) RunProgramObserved(ctx context.Context, p *Program, db *relatio
 		stats = append(stats, res.stats)
 		timings = append(timings, res.timing)
 	}
-	if ctxErr != nil {
-		return nil, stats, timings, fmt.Errorf("mr: program canceled: %w", ctxErr)
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			return nil, stats, timings, fmt.Errorf("mr: program canceled: %w", runErr)
+		}
+		return nil, stats, timings, fmt.Errorf("mr: program aborted: %w", runErr)
 	}
 	if failErr != nil {
 		return nil, stats, timings, fmt.Errorf("mr: job %s: %w", p.Jobs[limit].Name, failErr)

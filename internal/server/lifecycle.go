@@ -90,12 +90,23 @@ func (s *Server) unregister(qi *queryInfo) {
 	qi.cancel()
 }
 
-// queryErrorStatus maps a run error to its HTTP status: an expired
-// per-query deadline is the gateway's fault (504), an aborted or
-// disconnected client is the client's (499), anything else is a query
-// the engine rejected (422).
+// queryErrorStatus maps a run error to its HTTP status: a query that
+// outgrew its memory budget asked for too much (413), a query shed at
+// admission hit a transient capacity limit (503, with Retry-After set
+// by the handler), a recovered execution panic is the server's fault
+// (500), an expired per-query deadline is the gateway's (504), an
+// aborted or disconnected client is the client's (499), anything else
+// is a query the engine rejected (422). The memory/panic cases are
+// checked first: they are definite diagnoses, while a context error
+// can co-occur with them on the same run.
 func queryErrorStatus(err error) int {
 	switch {
+	case errors.Is(err, gumbo.ErrBudgetExceeded):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, errServerBusy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errQueryPanicked):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

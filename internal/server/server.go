@@ -92,6 +92,23 @@ type Config struct {
 	// also canceled when the client disconnects or an abort is requested
 	// via the query registry (DELETE /v1/db/{db}/query/{id}).
 	QueryTimeout time.Duration
+	// MemBudget is the server-wide memory budget in bytes (0 =
+	// unlimited). Each admitted query commits its cost-model-predicted
+	// bytes against it before running; a query whose reservation does
+	// not fit is rejected with 503 + Retry-After instead of executed
+	// (see memory.go for the full degradation ladder).
+	MemBudget int64
+	// QueryMemBudget caps the bytes one query's execution may charge
+	// (0 = unlimited). A run that charges past the cap aborts
+	// deterministically with HTTP 413, database untouched
+	// (gumbo.ErrBudgetExceeded). It also clamps the per-query
+	// reservation taken against MemBudget.
+	QueryMemBudget int64
+	// SpillThreshold and SpillDir configure shuffle spill-to-disk on
+	// the shared System (gumbo.WithSpill): partitions whose modelled
+	// bytes reach the threshold go to temp files under SpillDir.
+	SpillThreshold int64
+	SpillDir       string
 	// Options are applied to the shared gumbo.System after
 	// WithHostWorkers (e.g. gumbo.WithScale for scaled-down costs).
 	Options []gumbo.Option
@@ -107,6 +124,8 @@ type Server struct {
 	maxBatch int
 	maxBody  int64
 	timeout  time.Duration // per-query deadline (Config.QueryTimeout)
+	mem      *memLedger    // global memory budget (Config.MemBudget)
+	queryMem int64         // per-query byte budget (Config.QueryMemBudget)
 
 	mu    sync.RWMutex
 	dbs   map[string]*dbEntry
@@ -125,6 +144,8 @@ type Server struct {
 	batchedQueries atomic.Uint64 // client queries answered by merged runs
 	mergeFallbacks atomic.Uint64 // batches that could not run merged
 	aborted        atomic.Uint64 // queries canceled via the abort endpoint
+	shed           atomic.Uint64 // queries rejected by the memory ledger (503)
+	panicked       atomic.Uint64 // queries failed by a recovered panic (500)
 	active         atomic.Int64  // plan executions currently admitted
 }
 
@@ -160,7 +181,14 @@ func New(cfg Config) *Server {
 	if maxBody <= 0 {
 		maxBody = 32 << 20
 	}
-	opts := append([]gumbo.Option{gumbo.WithHostWorkers(cfg.PhaseWorkers)}, cfg.Options...)
+	opts := append([]gumbo.Option{
+		gumbo.WithHostWorkers(cfg.PhaseWorkers),
+		gumbo.WithSpill(cfg.SpillThreshold, cfg.SpillDir),
+	}, cfg.Options...)
+	queryMem := cfg.QueryMemBudget
+	if queryMem < 0 {
+		queryMem = 0
+	}
 	return &Server{
 		sys:      gumbo.New(opts...),
 		cache:    newPlanCache(cfg.PlanCacheSize),
@@ -169,6 +197,8 @@ func New(cfg Config) *Server {
 		maxBatch: maxBatch,
 		maxBody:  maxBody,
 		timeout:  cfg.QueryTimeout,
+		mem:      newMemLedger(cfg.MemBudget),
+		queryMem: queryMem,
 		dbs:      make(map[string]*dbEntry),
 		inflight: make(map[uint64]*queryInfo),
 	}
@@ -225,7 +255,30 @@ func (s *Server) Handler() http.Handler {
 // run (the same holds for a direct library call), but the cache key is
 // consistent — a plan is only ever reused for the exact generation it
 // was stored under.
-func (s *Server) runQuery(ctx context.Context, dbe *dbEntry, q *gumbo.Query, strategy gumbo.Strategy) (*gumbo.Result, bool, error) {
+//
+// Memory governance (see memory.go): once the plan is known, the query
+// reserves its predicted bytes against the global ledger — a
+// reservation that does not fit is rejected with errServerBusy (503)
+// before any engine work — and the run itself is charged against a
+// fresh per-query budget, aborting with gumbo.ErrBudgetExceeded (413)
+// if it outgrows the cap.
+//
+// Panic containment: runQuery is the query boundary — a panic escaping
+// the engine (or the planner) is recovered here, after the pool has
+// joined its workers and the run entry points have removed the run's
+// spill files, and converted into errQueryPanicked (500). The deferred
+// unregister, admission release and ledger release all run on the
+// unwind, so a panicking query leaks nothing and the server keeps
+// serving. The recover lives here rather than in the HTTP handler
+// because batched queries execute on the batcher's flush goroutine,
+// where an unwinding panic would kill the process.
+func (s *Server) runQuery(ctx context.Context, dbe *dbEntry, q *gumbo.Query, strategy gumbo.Strategy) (res *gumbo.Result, hit bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panicked.Add(1)
+			res, hit, err = nil, false, fmt.Errorf("%w: %v", errQueryPanicked, v)
+		}
+	}()
 	if strategy == strategyAuto {
 		strategy = s.sys.Auto(q)
 	}
@@ -255,14 +308,26 @@ func (s *Server) runQuery(ctx context.Context, dbe *dbEntry, q *gumbo.Query, str
 	key := planKey(dbe.id, gen, strategy, q.String())
 	plan, hit := s.cache.get(key)
 	if !hit {
-		var err error
 		plan, err = s.sys.Plan(q, dbe.db, strategy)
 		if err != nil {
 			return nil, false, err
 		}
 		s.cache.put(key, plan)
 	}
-	res, err := s.sys.RunPlanObserved(ctx, plan, dbe.db, qi.progress)
+	if s.mem.cap > 0 {
+		need := s.sys.PredictBytes(plan, dbe.db)
+		if s.queryMem > 0 && need > s.queryMem {
+			// The per-query budget would abort the run before it could
+			// charge more than this anyway.
+			need = s.queryMem
+		}
+		if !s.mem.reserve(need) {
+			s.shed.Add(1)
+			return nil, false, errServerBusy
+		}
+		defer s.mem.release(need)
+	}
+	res, err = s.sys.RunPlanGoverned(ctx, plan, dbe.db, qi.progress, gumbo.NewBudget(s.queryMem))
 	return res, hit, err
 }
 
@@ -524,7 +589,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out = batchOutcome{res: res, cacheHit: hit, batchSize: 1, outputs: []string{q.Name()}, err: err}
 	}
 	if out.err != nil {
-		writeError(w, queryErrorStatus(out.err), "%v", out.err)
+		status := queryErrorStatus(out.err)
+		if status == http.StatusServiceUnavailable {
+			// Shed load is transient: committed reservations drain as
+			// running queries finish.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, "%v", out.err)
 		return
 	}
 	rel := out.res.Outputs.Relation(q.Name())
@@ -575,6 +646,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"admission_capacity": cap(s.sem),
 		"inflight_queries":   nflight,
 		"queries_aborted":    s.aborted.Load(),
+		"queries_shed":       s.shed.Load(),
+		"queries_panicked":   s.panicked.Load(),
+		"mem_budget_bytes":   s.mem.cap,
+		"mem_committed":      s.mem.load(),
+		"query_mem_bytes":    s.queryMem,
 	})
 }
 
