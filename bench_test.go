@@ -360,6 +360,97 @@ func BenchmarkGreedyBSGFQuery(b *testing.B) {
 	}
 }
 
+// skewedWorkload builds the adaptive-skew benchmark input: a semi-join
+// whose guard's join column follows a harmonic (zipf-like) frequency
+// law over `keys` distinct values — value k carries ~1/k of the hot
+// mass. The handful of heavy values land in whichever reduce
+// partitions their hashes pick, making those partitions cross the
+// split threshold while still holding many separable key groups (the
+// shape runtime splitting exists for: a single dominant key is one
+// atomic group and can only be isolated, not divided).
+func skewedWorkload(tuples, keys int64) (*Query, *Database) {
+	q := MustParse("Z := SELECT x, y FROM R(x, y) WHERE S(x);")
+	db := NewDatabase()
+	g := NewRelation("R", 2)
+	j := int64(0)
+	for j < tuples {
+		for k := int64(1); k <= keys && j < tuples; k++ {
+			n := tuples / (k * 6)
+			if n == 0 {
+				n = 1
+			}
+			for i := int64(0); i < n && j < tuples; i++ {
+				g.Add(Tuple{Int(k), Int(j)})
+				j++
+			}
+		}
+	}
+	s := NewRelation("S", 1)
+	for k := int64(0); k <= keys; k++ {
+		s.Add(Tuple{Int(k)})
+	}
+	db.Put(g)
+	db.Put(s)
+	return q, db
+}
+
+// benchSkewedQuery runs the skewed semi-join end to end on a 4-wide
+// pool with runtime skew splitting at the given threshold ratio
+// (negative = off). One untimed warm-up run asserts the configuration
+// actually does what the sub-benchmark name claims — the on-run must
+// split the hot partition, the off-run must not split anything — and
+// feeds the balance metrics: max-task-mb is the heaviest single reduce
+// task the pool had to schedule (with splitting off this equals the
+// heaviest partition), split-tasks the number of sub-range reduce
+// tasks.
+func benchSkewedQuery(b *testing.B, ratio float64) {
+	q, db := skewedWorkload(120000, 32)
+	s := New(WithScale(0.001), WithHostWorkers(4), WithSkewSplit(ratio))
+	res, err := s.Run(q, db, Greedy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := 0
+	var maxTask float64
+	for i := range res.JobStats {
+		split += res.JobStats[i].SplitReduceTasks
+		if m := res.JobStats[i].MaxReduceTaskMB; m > maxTask {
+			maxTask = m
+		}
+	}
+	if ratio > 0 && split == 0 {
+		b.Fatal("splitting on but no reduce partition split")
+	}
+	if ratio <= 0 && split != 0 {
+		b.Fatalf("splitting off but %d split tasks reported", split)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(q, db, Greedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(maxTask, "max-task-mb")
+	b.ReportMetric(float64(split), "split-tasks")
+}
+
+// BenchmarkSkewedQuery measures what the runtime reduce-partition
+// splitter buys on a hot-key workload: with splitting off the dominant
+// key's partition reduces as one serial task the rest of the job waits
+// behind; with it on, the partition splits at sketch-derived key
+// boundaries into independently scheduled sub-tasks and the heaviest
+// schedulable unit (the max-task-mb metric) shrinks by the skew
+// factor. The ns/op comparison doubles as the overhead gate: on a
+// single-CPU host the scheduling win cannot show up in wall-clock, so
+// off vs on must be parity — the sampled sketch feed and split
+// bookkeeping are free — while multi-core hosts convert the balance
+// into wall-clock directly. BENCH_pr10.json records both.
+func BenchmarkSkewedQuery(b *testing.B) {
+	b.Run("split=off", func(b *testing.B) { benchSkewedQuery(b, -1) })
+	b.Run("split=on", func(b *testing.B) { benchSkewedQuery(b, 1.5) })
+}
+
 // BenchmarkParser measures SGF parsing+validation throughput.
 func BenchmarkParser(b *testing.B) {
 	src := workload.C3().Program.String()

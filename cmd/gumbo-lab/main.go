@@ -10,6 +10,7 @@
 //	gumbo-lab -short
 //	gumbo-lab -cancel -seeds 5
 //	gumbo-lab -faults -seeds 5
+//	gumbo-lab -skew -seeds 5
 //
 // Exit status is 1 when any divergence is found (each is reported with
 // a minimal shrunken reproduction), 0 on a clean sweep. With -out P the
@@ -28,6 +29,12 @@
 // typed errors (re-raised sentinel, gumbo.ErrBudgetExceeded), untouched
 // input data, no goroutine or spill temp-file leaks, and bit-for-bit
 // clean re-runs.
+//
+// With -skew each scenario's zipf and dense variants run with runtime
+// skew splitting off and on at every width: outputs and stats must be
+// bit-for-bit identical (up to the split observability fields), and the
+// sweep reports how much the heaviest reduce task shrank on the runs
+// that split.
 package main
 
 import (
@@ -52,6 +59,7 @@ func main() {
 		short       = flag.Bool("short", false, "small smoke sweep: few seeds, small data, widths 1,2")
 		cancelMode  = flag.Bool("cancel", false, "cancellation sweep: cancel each scenario at a seeded task boundary and check clean teardown")
 		faultsMode  = flag.Bool("faults", false, "fault sweep: inject task panics and budget exhaustion, check typed errors and clean teardown")
+		skewMode    = flag.Bool("skew", false, "skew sweep: run zipf/dense scenario variants with runtime splitting off and on, check bit-for-bit agreement and report the balance gain")
 		out         = flag.String("out", "", "output path prefix for TSV/JSON reports")
 	)
 	flag.Parse()
@@ -80,6 +88,21 @@ func main() {
 	swcfg.Shrink = !*noShrink
 
 	scenarios := lab.GenScenarios(*seeds, scfg)
+	if *skewMode {
+		fmt.Printf("skew-sweeping %d scenarios (zipf/dense variants, split off vs on)\n", len(scenarios))
+		rep := lab.RunSkewSweep(scenarios, swcfg)
+		fmt.Printf("%d runs over %d scenario variants, %d split, %d violations\n",
+			len(rep.Records), rep.Scenarios, rep.SplitRuns(), len(rep.Failures))
+		fmt.Printf("heaviest reduce task shrank %.2fx max, %.2fx mean over split runs\n",
+			rep.MaxImprovement(), rep.MeanImprovement())
+		for _, f := range rep.Failures {
+			fmt.Fprintf(os.Stderr, "SKEW VIOLATION %s width %d: %s\n", f.Scenario, f.Width, f.Detail)
+		}
+		if len(rep.Failures) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *faultsMode {
 		fmt.Printf("fault-sweeping %d scenarios\n", len(scenarios))
 		rep := lab.RunFaultSweep(scenarios, swcfg)

@@ -10,7 +10,7 @@
 //	            [-cache 128] [-batch-window 2ms] [-max-batch 16]
 //	            [-query-timeout 0] [-scale 0.001]
 //	            [-mem-budget 0] [-query-mem 0]
-//	            [-spill-threshold 0] [-spill-dir DIR]
+//	            [-spill-threshold 0] [-spill-dir DIR] [-skew-split 0]
 package main
 
 import (
@@ -44,6 +44,7 @@ func main() {
 		queryMem     = flag.Int64("query-mem", 0, "per-query memory budget in bytes; over-budget queries return 413 (0 = unlimited)")
 		spillThresh  = flag.Int64("spill-threshold", 0, "spill shuffle partitions at this many bytes (0 = GUMBO_SPILL_THRESHOLD env, negative = off)")
 		spillDir     = flag.String("spill-dir", "", "directory for spill temp files (empty = system temp dir)")
+		skewSplit    = flag.Float64("skew-split", 0, "split reduce partitions heavier than this ratio x the mean load (0 = GUMBO_SKEW_SPLIT env, negative = off)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		QueryMemBudget: *queryMem,
 		SpillThreshold: *spillThresh,
 		SpillDir:       *spillDir,
+		SkewSplit:      *skewSplit,
 	}
 	if *scale != 1 {
 		cfg.Options = append(cfg.Options, gumbo.WithScale(*scale))

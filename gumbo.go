@@ -154,6 +154,7 @@ type System struct {
 	hostWorkers    int
 	spillThreshold int64
 	spillDir       string
+	skewSplit      float64
 	runner         *exec.Runner
 }
 
@@ -211,6 +212,23 @@ func WithSpill(threshold int64, dir string) Option {
 	return func(s *System) { s.spillThreshold, s.spillDir = threshold, dir }
 }
 
+// WithSkewSplit enables runtime skew splitting: after a job's shuffle,
+// a reduce partition whose modelled bytes exceed ratio × the mean
+// partition load is split at heavy-key boundaries (detected by a
+// shuffle-time sketch) into sub-tasks the pool schedules
+// independently, so one hot key no longer serializes the reduce wave.
+// Outputs, stats and metrics are bit-for-bit identical to the unsplit
+// run; only JobStats.SplitReduceTasks / MaxReduceTaskMB report the
+// splitting, deterministically. ratio 0 defers to the GUMBO_SKEW_SPLIT
+// environment variable (unset = splitting off); negative disables
+// splitting unconditionally. 1.5 is a reasonable starting ratio. When
+// splitting is enabled, plan-time static salting
+// (core.SkewAwareBasicPlan) stands down and lets the runtime handle
+// skew.
+func WithSkewSplit(ratio float64) Option {
+	return func(s *System) { s.skewSplit = ratio }
+}
+
 // WithHostParallelism is the earlier two-knob form of WithHostWorkers,
 // from when the engine bounded per-phase workers and concurrently
 // executing jobs separately. The unified task-graph scheduler has a
@@ -237,7 +255,8 @@ func New(opts ...Option) *System {
 	}
 	s.runner = exec.NewRunner(s.costCfg, s.clusterCfg).
 		WithHostWorkers(s.hostWorkers).
-		WithSpill(s.spillThreshold, s.spillDir)
+		WithSpill(s.spillThreshold, s.spillDir).
+		WithSkewSplit(s.skewSplit)
 	return s
 }
 

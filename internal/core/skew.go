@@ -29,6 +29,13 @@ type SkewConfig struct {
 	SaltFactor int
 	// SampleEvery is the detection sampling stride (default 100).
 	SampleEvery int
+	// RuntimeSplit declares that the executing engine performs runtime
+	// skew splitting (mr.Engine.SplitThreshold / gumbo.WithSkewSplit).
+	// Static salting then stands down: detection is skipped and jobs are
+	// built unsalted, leaving skew to the engine's sub-partition tasks —
+	// salting the same hot keys twice would only inflate key bytes and
+	// assert replication without improving balance further.
+	RuntimeSplit bool
 }
 
 // DefaultSkewConfig returns the default mitigation parameters.
@@ -121,7 +128,7 @@ func NewMSJJobSkew(name string, eqs []Equation, heavy map[string]bool, cfg SkewC
 	if err != nil {
 		return nil, err
 	}
-	if len(heavy) == 0 {
+	if cfg.RuntimeSplit || len(heavy) == 0 {
 		return base, nil
 	}
 	inner := base.Mapper
@@ -158,7 +165,12 @@ func SkewAwareBasicPlan(name string, strategy Strategy, queries []*sgf.BSGF, eqs
 	if !ValidPartition(partition, len(eqs)) {
 		return nil, fmt.Errorf("core: %s: invalid partition over %d equations", name, len(eqs))
 	}
-	heavy := DetectHeavyKeys(cfg, eqs, db)
+	var heavy map[string]bool
+	if !cfg.RuntimeSplit {
+		// With runtime splitting on, skip the sampling pass entirely —
+		// its result would be discarded by NewMSJJobSkew anyway.
+		heavy = DetectHeavyKeys(cfg, eqs, db)
+	}
 	plan := &Plan{Name: name, Strategy: strategy}
 	var msjIdxs []int
 	for gi, group := range partition {

@@ -135,6 +135,44 @@ func TestSkewJobNoHeavyKeysIsPlainMSJ(t *testing.T) {
 	_ = db
 }
 
+// TestSkewRuntimeSplitDefersSalting: with RuntimeSplit set the static
+// mitigation stands down — jobs come back unsalted (plain MSJ name and
+// mapper) even with heavy keys in hand, and SkewAwareBasicPlan still
+// produces the correct output (the engine's runtime splitter owns skew
+// then; its own differential lives in internal/mr).
+func TestSkewRuntimeSplitDefersSalting(t *testing.T) {
+	db := skewedDB(20000, 0.3, 6)
+	prog := skewQuery()
+	eqs := ExtractEquations(prog.Queries)
+	cfg := DefaultSkewConfig()
+	cfg.RuntimeSplit = true
+	job, err := NewMSJJobSkew("x", eqs, map[string]bool{"k": true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Name != "x" {
+		t.Errorf("RuntimeSplit job still salted: %s", job.Name)
+	}
+	want, err := refeval.EvalOutput(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := SkewAwareBasicPlan("defer", StrategyGreedy, prog.Queries, eqs,
+		OneGroup(len(eqs)), db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runPlan(t, plan, db)
+	if !got.Equal(want) {
+		t.Errorf("deferred plan output wrong:\n%s\nvs\n%s", got.Dump(), want.Dump())
+	}
+	for _, j := range plan.Jobs {
+		if j.Name == "defer/msj0+skew" {
+			t.Errorf("plan salted job %s despite RuntimeSplit", j.Name)
+		}
+	}
+}
+
 func TestSaltKeyDistinctness(t *testing.T) {
 	base := relation.Tuple{relation.Value(7)}.Key()
 	seen := map[string]bool{base: true}

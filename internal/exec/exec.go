@@ -67,6 +67,17 @@ func (r *Runner) WithSpill(threshold int64, dir string) *Runner {
 	return r
 }
 
+// WithSkewSplit configures runtime skew splitting on the underlying
+// engine: after shuffle, reduce partitions heavier than ratio × the
+// mean are split at heavy-key boundaries into independently scheduled
+// sub-tasks; outputs and stats are bit-for-bit unchanged (see
+// mr.Engine.SplitThreshold for the 0 / negative conventions). Returns
+// r. Must be called before the Runner is shared between goroutines.
+func (r *Runner) WithSkewSplit(ratio float64) *Runner {
+	r.Engine.SplitThreshold = ratio
+	return r
+}
+
 // Result is the outcome of running one plan.
 type Result struct {
 	Plan     *core.Plan

@@ -146,8 +146,13 @@ func AblationSkew(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// When the runner's engine performs runtime skew splitting, static
+	// salting defers to it (RuntimeSplit) — the "salted" row then shows
+	// the runtime splitter's balance instead of double-mitigating.
+	skCfg := core.DefaultSkewConfig()
+	skCfg.RuntimeSplit = runner.Engine.SkewSplitEnabled()
 	salted, err := core.SkewAwareBasicPlan("salted", core.StrategyGreedy, prog.Queries, eqs,
-		core.OneGroup(len(eqs)), db, core.DefaultSkewConfig())
+		core.OneGroup(len(eqs)), db, skCfg)
 	if err != nil {
 		return nil, err
 	}

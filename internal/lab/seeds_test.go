@@ -9,7 +9,7 @@ import (
 	"repro/internal/sgf"
 )
 
-// frozenScenarios are the ten highest-value generated scenarios, frozen
+// frozenScenarios are the highest-value generated scenarios, frozen
 // as literal SGF so the tier-1 suite exercises them deterministically
 // even if the generator's seed stream changes. They were produced by
 // GenScenario at the recorded seeds and chosen to cover every shape and
@@ -62,6 +62,14 @@ Z1 := SELECT x0, x1 FROM R0(x0, x1) WHERE S0(x1, x0) OR S0(x1, x0) OR S0(3, x1);
 Z2 := SELECT x0, x1, x2 FROM R1(x0, x1, x2) WHERE (NOT S1(x2, x0) AND Z1(x2, x1)) OR S2(x0);
 Z3 := SELECT x0 FROM R2(x0, x1) WHERE S3(x1) OR NOT S4(x1, x0) OR S5(x0);
 Z4 := SELECT x0 FROM Z1(x0, x1) WHERE Z3(x1);`},
+	// The skew fixture: under the zipf profile this scenario's join
+	// column concentrates on a handful of hot values, and at full lab
+	// scale (2000 tuples) its MSJ job crosses Engine.SplitThreshold and
+	// exercises the runtime reduce-partition splitter —
+	// TestFrozenSkewScenarioSplits pins that. At the 300-tuple sweep
+	// scale it stays below the threshold and just rides the oracle.
+	{"skew-hot-union-zipf", 2, ShapeUnion, "zipf", `
+Z1 := SELECT x0, x1 FROM R0(x0, x1) WHERE S0(x0) OR NOT S1(x1);`},
 }
 
 func profileByName(t *testing.T, name string) DataProfile {
@@ -170,6 +178,70 @@ func TestChainCorrelationSelective(t *testing.T) {
 	}
 }
 
+// TestFrozenSkewScenarioSplits pins the skew fixture's reason for
+// existing: at full lab scale its zipf-hot reduce partition must
+// actually cross the split threshold, and the split run must match the
+// unsplit run bit for bit (up to the split observability fields) at
+// every width.
+func TestFrozenSkewScenarioSplits(t *testing.T) {
+	var fixture Scenario
+	for _, f := range frozenScenarios {
+		if f.name != "skew-hot-union-zipf" {
+			continue
+		}
+		fixture = Scenario{
+			Name:        f.name,
+			Seed:        f.seed,
+			Shape:       f.shape,
+			Profile:     profileByName(t, f.profile),
+			Program:     sgf.MustParse(f.src),
+			GuardTuples: 2000,
+			CondTuples:  2000,
+		}
+	}
+	if fixture.Name == "" {
+		t.Fatal("skew-hot-union-zipf missing from the frozen table")
+	}
+	q, err := gumbo.Parse(fixture.Source())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	db := fixture.Build()
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var base *gumbo.Result
+	for _, w := range widths {
+		run := func(ratio float64) *gumbo.Result {
+			sys := gumbo.New(gumbo.WithHostWorkers(w), gumbo.WithScale(1e-4),
+				gumbo.WithSkewSplit(ratio))
+			plan, err := sys.Plan(q, db, sys.Auto(q))
+			if err != nil {
+				t.Fatalf("width %d: plan: %v", w, err)
+			}
+			res, err := sys.RunPlan(plan, db)
+			if err != nil {
+				t.Fatalf("width %d: run: %v", w, err)
+			}
+			return res
+		}
+		off, on := run(-1), run(skewSplitRatio)
+		split := 0
+		for i := range on.JobStats {
+			split += on.JobStats[i].SplitReduceTasks
+		}
+		if split == 0 {
+			t.Errorf("width %d: fixture did not split; threshold or data drifted", w)
+		}
+		if d := diffSplitOffOn(off, on); d != "" {
+			t.Errorf("width %d: %s", w, d)
+		}
+		if base == nil {
+			base = on
+		} else if d := diffBitForBit(base, on); d != "" {
+			t.Errorf("width %d vs %d: %s", w, widths[0], d)
+		}
+	}
+}
+
 // TestFrozenScenarioGoldenSizes pins each frozen scenario's reference
 // output cardinalities. These golden numbers pin three layers at once:
 // the data generator's seed streams, the workload builder's relation
@@ -188,6 +260,7 @@ func TestFrozenScenarioGoldenSizes(t *testing.T) {
 		"nested-contradiction":   {0, 0, 0},
 		"multi-negated-output":   {0, 0, 0, 272},
 		"multi-mixed-boolean":    {0, 0, 238, 0},
+		"skew-hot-union-zipf":    {300},
 	}
 	for _, f := range frozenScenarios {
 		sc := Scenario{

@@ -253,6 +253,23 @@ func diffOutputsVsReference(sc Scenario, res *gumbo.Result, want *gumbo.Database
 // arity, and exact tuple order, and the per-job stats must be
 // identical. Returns "" on agreement.
 func diffBitForBit(a, b *gumbo.Result) string {
+	if d := diffRelationList(a, b); d != "" {
+		return d
+	}
+	if len(a.JobStats) != len(b.JobStats) {
+		return fmt.Sprintf("%d job stats vs %d", len(a.JobStats), len(b.JobStats))
+	}
+	for i := range a.JobStats {
+		if !reflect.DeepEqual(a.JobStats[i], b.JobStats[i]) {
+			return fmt.Sprintf("job %d (%s): stats differ", i, a.JobStats[i].Name)
+		}
+	}
+	return ""
+}
+
+// diffRelationList compares two runs' produced relations (including
+// intermediates) in name, order and exact tuple sequence.
+func diffRelationList(a, b *gumbo.Result) string {
 	ar, br := a.Outputs.Relations(), b.Outputs.Relations()
 	if len(ar) != len(br) {
 		return fmt.Sprintf("%d relations vs %d", len(ar), len(br))
@@ -263,14 +280,6 @@ func diffBitForBit(a, b *gumbo.Result) string {
 		}
 		if d := diffTupleOrder(ar[i], br[i]); d != "" {
 			return fmt.Sprintf("relation %s: %s", ar[i].Name(), d)
-		}
-	}
-	if len(a.JobStats) != len(b.JobStats) {
-		return fmt.Sprintf("%d job stats vs %d", len(a.JobStats), len(b.JobStats))
-	}
-	for i := range a.JobStats {
-		if !reflect.DeepEqual(a.JobStats[i], b.JobStats[i]) {
-			return fmt.Sprintf("job %d (%s): stats differ", i, a.JobStats[i].Name)
 		}
 	}
 	return ""

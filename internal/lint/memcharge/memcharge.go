@@ -10,6 +10,13 @@
 // charges first and allocates second. A raw make([]byte, ...) anywhere
 // else in the engine is a buffer the budget cannot see.
 //
+// Three allocation forms are flagged: make([]byte, ...), the
+// []byte(string) conversion, and bytes.Clone — each materializes a
+// fresh byte buffer the budget cannot see (the conversion and clone
+// forms matter since the skew sketch and split boundaries copy keys
+// that outlive their arenas; the copies must come from grabBytes like
+// every other bulk buffer).
+//
 // The check applies to non-test files of packages named "mr"; the
 // grabBytes helper itself is exempt (it is the accounting seam), and
 // genuinely unaccounted small allocations can carry
@@ -27,7 +34,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "memcharge",
-	Doc:  "flags raw make([]byte, ...) in the engine package: bulk buffers must be charged to the run's Budget via grabBytes",
+	Doc:  "flags raw make([]byte, ...), []byte(string) conversions and bytes.Clone in the engine package: bulk buffers must be charged to the run's Budget via grabBytes",
 	Run:  run,
 }
 
@@ -48,11 +55,15 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			if !isMake(pass, call) || len(call.Args) == 0 {
-				return true
-			}
-			if t := pass.TypesInfo.Types[call.Args[0]].Type; t != nil && lintutil.IsByteSlice(t) {
-				pass.Reportf(call.Pos(), "unaccounted []byte allocation in the engine package: use grabBytes(budget, n) so the run's memory budget observes it (genuinely unaccounted buffers carry //lint:ignore memcharge)")
+			switch {
+			case isMake(pass, call) && len(call.Args) > 0:
+				if t := pass.TypesInfo.Types[call.Args[0]].Type; t != nil && lintutil.IsByteSlice(t) {
+					pass.Reportf(call.Pos(), "unaccounted []byte allocation in the engine package: use grabBytes(budget, n) so the run's memory budget observes it (genuinely unaccounted buffers carry //lint:ignore memcharge)")
+				}
+			case isByteConversion(pass, call):
+				pass.Reportf(call.Pos(), "unaccounted []byte(string) conversion in the engine package: the copy bypasses the run's memory budget; copy into grabBytes(budget, n) instead (genuinely unaccounted buffers carry //lint:ignore memcharge)")
+			case isBytesClone(pass, call):
+				pass.Reportf(call.Pos(), "unaccounted bytes.Clone in the engine package: the copy bypasses the run's memory budget; copy into grabBytes(budget, n) instead (genuinely unaccounted buffers carry //lint:ignore memcharge)")
 			}
 			return true
 		})
@@ -68,4 +79,33 @@ func isMake(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
 	return ok && b.Name() == "make"
+}
+
+// isByteConversion reports whether call is a []byte(stringExpr)
+// conversion — a fresh buffer sized by the string, allocated outside
+// the budget.
+func isByteConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !lintutil.IsByteSlice(tv.Type) {
+		return false
+	}
+	at := pass.TypesInfo.Types[call.Args[0]].Type
+	if at == nil {
+		return false
+	}
+	basic, ok := at.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isBytesClone reports whether call invokes bytes.Clone.
+func isBytesClone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Clone" && fn.Pkg() != nil && fn.Pkg().Path() == "bytes"
 }

@@ -2,6 +2,8 @@
 // the check is scoped to the engine package.
 package mr
 
+import "bytes"
+
 type budget struct{}
 
 func (b *budget) charge(n int64) {}
@@ -38,4 +40,22 @@ func accounted(b *budget, n int) []byte {
 func sanctionedSmall() []byte {
 	//lint:ignore memcharge testdata: pins that suppression covers the next line
 	return make([]byte, 8)
+}
+
+func stringConversion(s string) []byte {
+	return []byte(s) // want `unaccounted \[\]byte\(string\) conversion`
+}
+
+type keyAlias string
+
+func namedStringConversion(s keyAlias) chunk {
+	return chunk(s) // want `unaccounted \[\]byte\(string\) conversion`
+}
+
+func cloned(b []byte) []byte {
+	return bytes.Clone(b) // want `unaccounted bytes\.Clone`
+}
+
+func stringRoundTrip(b []byte) string {
+	return string(b) // the string copy is transient; only []byte buffers persist
 }

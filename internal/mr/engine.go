@@ -63,26 +63,76 @@ type Engine struct {
 	SpillThreshold int64
 	// SpillDir is where spill files are created ("" = os.TempDir).
 	SpillDir string
+
+	// SplitThreshold enables runtime skew splitting: after shuffle, a
+	// reduce partition whose modelled bytes exceed SplitThreshold × the
+	// mean partition load is split at sketch-derived heavy-key
+	// boundaries into sub-range reduce tasks scheduled independently
+	// (see split.go); outputs and stats are bit-for-bit identical
+	// either way. 0 reads the GUMBO_SKEW_SPLIT environment variable (a
+	// ratio; unset or invalid = splitting off), negative disables
+	// splitting unconditionally, positive is the ratio (1.5 is a
+	// reasonable start: split anything half again heavier than the
+	// mean).
+	SplitThreshold float64
 }
 
 // govern bundles one run's resource-governance state: the byte budget
-// the run charges (nil = unaccounted) and the spill configuration.
+// the run charges (nil = unaccounted), the spill configuration, and
+// the skew-split ratio (0 = splitting off).
 type govern struct {
 	budget    *Budget
 	spill     *spillSet // nil = spill off
 	threshold int64
+	split     float64
 }
 
-// newGovern resolves the engine's spill knobs for one run.
+// newGovern resolves the engine's spill and skew-split knobs for one
+// run.
 func (e *Engine) newGovern(b *Budget) govern {
+	g := govern{budget: b, split: e.resolveSkewSplit()}
 	t := e.SpillThreshold
 	if t == 0 {
 		t = envSpillThreshold()
 	}
-	if t <= 0 {
-		return govern{budget: b}
+	if t > 0 {
+		g.spill = newSpillSet(e.SpillDir)
+		g.threshold = t
 	}
-	return govern{budget: b, spill: newSpillSet(e.SpillDir), threshold: t}
+	return g
+}
+
+// resolveSkewSplit returns the effective skew-split ratio (0 = off),
+// applying the SplitThreshold zero-reads-environment convention.
+func (e *Engine) resolveSkewSplit() float64 {
+	s := e.SplitThreshold
+	if s == 0 {
+		s = envSkewSplit()
+	}
+	if s <= 0 {
+		return 0
+	}
+	return s
+}
+
+// SkewSplitEnabled reports whether runtime skew splitting is active
+// for this engine's runs — the signal plan-time skew handling
+// (internal/core's static salting) uses to stand down.
+func (e *Engine) SkewSplitEnabled() bool { return e.resolveSkewSplit() > 0 }
+
+// envSkewSplit reads GUMBO_SKEW_SPLIT, the environment hook for
+// enabling runtime skew splitting suite-wide (the CI skew gate's
+// lever, mirroring GUMBO_SPILL_THRESHOLD).
+func envSkewSplit() float64 {
+	v := os.Getenv("GUMBO_SKEW_SPLIT")
+	if v == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 {
+		return 0
+	}
+	return f
 }
 
 // envSpillThreshold reads GUMBO_SPILL_THRESHOLD, the CI spill gate's

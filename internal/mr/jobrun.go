@@ -74,9 +74,18 @@ type jobRun struct {
 
 	reducers  int
 	taskParts [][]taskPartition // per input part, per map task
-	outs      []*Output         // per reducer
-	outNames  []string          // declared outputs, sorted
-	outMB     []float64         // per output, folded in name order
+	// slots is the reduce-stage task layout, reducer-major and
+	// sub-range-minor: one full-range slot per reducer normally; a heavy
+	// partition under runtime splitting contributes one slot per key
+	// sub-range (split.go). outs and slotLoads are indexed by slot, and
+	// every order-sensitive fold over them walks slot order — the
+	// ordered sub-partition fold that keeps split runs bit-for-bit
+	// identical to unsplit ones.
+	slots     []reduceSlot
+	slotLoads []int64   // per slot: modelled bytes the task consumed
+	outs      []*Output // per reduce slot
+	outNames  []string  // declared outputs, sorted
+	outMB     []float64 // per output, folded in name order
 	merged    []*relation.Relation
 
 	stats JobStats
@@ -95,11 +104,14 @@ type mapTaskSpec struct {
 
 // taskPartition is one map task's output partitioned by reducer. A
 // spilled partition has parts == nil and its records in spill; loads
-// are computed before the spill decision and kept either way.
+// are computed before the spill decision and kept either way. sketch
+// is the task's heavy-key sketch, collected only when runtime skew
+// splitting is enabled (split.go).
 type taskPartition struct {
-	parts [][]record
-	loads []int64
-	spill *spillPartition
+	parts  [][]record
+	loads  []int64
+	spill  *spillPartition
+	sketch *keySketch
 }
 
 // newJobRun prepares the task-graph state for one job. The job must
@@ -303,6 +315,10 @@ func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 		loads: make([]int64, reducers),
 	}
 	if len(recs) > 0 {
+		var sk *keySketch
+		if jr.gov.split > 0 {
+			sk = newKeySketch(jr.gov.budget)
+		}
 		tc := make([]int32, len(recs)+reducers) // targets and counts, one allocation
 		target, counts := tc[:len(recs)], tc[len(recs):]
 		for i, r := range recs {
@@ -310,7 +326,11 @@ func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 			target[i] = p
 			counts[p]++
 			tp.loads[p] += r.size
+			if sk != nil && i%sketchSampleEvery == 0 {
+				sk.observe(r.key, p, r.size*sketchSampleEvery)
+			}
 		}
+		tp.sketch = sk
 		buf := make([]record, len(recs))
 		off := 0
 		for p := 0; p < reducers; p++ {
@@ -344,7 +364,9 @@ func (jr *jobRun) shuffleTask(c *poolCtx, part, ti int) {
 	}
 }
 
-// shufflesDone spawns one reduce partition task per reducer.
+// shufflesDone plans the reduce slot layout — one full-range task per
+// reducer, plus sub-range tasks for partitions the skew splitter cut
+// (split.go) — and spawns one reduce task per slot.
 func (jr *jobRun) shufflesDone(c *poolCtx) {
 	// The map results are fully consumed (each task's records were
 	// nil'ed as its shuffle partition copied them); drop the scaffolding
@@ -353,35 +375,59 @@ func (jr *jobRun) shufflesDone(c *poolCtx) {
 	jr.results = nil
 	r := jr.reducers
 	jr.stats.ReduceLoadMB = make([]float64, r)
-	jr.outs = make([]*Output, r)
+	slots := jr.planReduceSlots()
+	jr.slots = slots
+	jr.slotLoads = make([]int64, len(slots))
+	for _, s := range slots {
+		if s.split {
+			jr.stats.SplitReduceTasks++
+		}
+	}
+	jr.outs = make([]*Output, len(slots))
 	jr.mu.Lock()
-	jr.redsLeft = r
+	jr.redsLeft = len(slots)
 	jr.mu.Unlock()
-	jr.progress.addReduceTotal(r)
-	for ri := 0; ri < r; ri++ {
-		ri := ri
-		c.spawn(func(c *poolCtx) { jr.reduceTask(c, ri) })
+	jr.progress.addReduceTotal(len(slots))
+	for si := range slots {
+		si := si
+		c.spawn(func(c *poolCtx) { jr.reduceTask(c, si) })
 	}
 }
 
-// reduceTask concatenates the reducer's share of every map task's
+// reduceTask concatenates its slot's share of every map task's
 // partition in declared part/task order (so the records it sees — and
 // the measured load — are identical to a serial pass over the tasks),
-// sorts the partition by key and walks key runs through the user
-// Reducer. When the pool has parked workers (fewer runnable tasks than
-// width), they parallelize the key sort's top radix level — sized from
-// actual pool idleness, so overlapping jobs' reduce tasks don't each
-// assume they own the machine; the sorted order is identical either
-// way.
-func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
+// sorts the records by key and walks key runs through the user
+// Reducer. A full-range slot takes the whole partition; a split slot
+// keeps only the records whose key falls in its [lo, hi) sub-range —
+// the same declared-order scan, filtered, so concatenating the
+// sub-slots' inputs in slot order reproduces the unsplit sequence.
+// When the pool has parked workers (fewer runnable tasks than width),
+// they parallelize the key sort's top radix level — sized from actual
+// pool idleness, so overlapping jobs' reduce tasks don't each assume
+// they own the machine; the sorted order is identical either way.
+func (jr *jobRun) reduceTask(c *poolCtx, si int) {
 	start := time.Now()
+	slot := jr.slots[si]
+	ri := slot.ri
 	n := 0
 	for part := range jr.taskParts {
 		for ti := range jr.taskParts[part] {
 			tp := &jr.taskParts[part][ti]
-			if tp.spill != nil {
+			switch {
+			case tp.spill != nil:
+				// Upper bound: spilled segments are range-filtered only
+				// while decoding.
 				n += int(tp.spill.segs[ri].count)
-			} else {
+			case slot.split:
+				// Exact count, so each sub-range task allocates its own
+				// share rather than the whole partition's.
+				for _, r := range tp.parts[ri] {
+					if keyInRange(r.key, slot.lo, slot.hi) {
+						n++
+					}
+				}
+			default:
 				n += len(tp.parts[ri])
 			}
 		}
@@ -391,7 +437,8 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 	for part := range jr.taskParts {
 		for ti := range jr.taskParts[part] {
 			tp := &jr.taskParts[part][ti]
-			if tp.spill != nil {
+			switch {
+			case tp.spill != nil && !slot.split:
 				// Stream the spilled segment back in the same declared
 				// (part, task) slot the in-memory path concatenates in:
 				// the reducer sees an identical record sequence.
@@ -400,21 +447,48 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 				if err != nil {
 					panic(taskAbort{err: err})
 				}
-			} else {
+				load += tp.loads[ri]
+			case tp.spill != nil:
+				var kept int64
+				var err error
+				partRecs, kept, err = tp.spill.appendSegmentRange(partRecs, ri, slot.lo, slot.hi, jr.gov.budget)
+				if err != nil {
+					panic(taskAbort{err: err})
+				}
+				load += kept
+			case !slot.split:
 				partRecs = append(partRecs, tp.parts[ri]...)
+				load += tp.loads[ri]
+			default:
+				for _, r := range tp.parts[ri] {
+					if keyInRange(r.key, slot.lo, slot.hi) {
+						partRecs = append(partRecs, r)
+						load += r.size
+					}
+				}
 			}
-			load += tp.loads[ri]
 		}
 	}
-	jr.stats.ReduceLoadMB[ri] = mbOf(load) * jr.inflate
-	sortWorkers := c.spare()
+	jr.slotLoads[si] = load
 	out := newOutput(jr.job.Outputs)
-	jr.outs[ri] = out
-	forEachGroupIdx(partRecs, sortIndexByKey(partRecs, sortWorkers), func(key []byte, msgs []Message) {
+	jr.outs[si] = out
+	var idx []int32
+	if slot.singleKey() {
+		// The sub-range holds one key by construction: the records are
+		// already a single group in arrival order, no sort needed.
+		idx = identityIndex(len(partRecs))
+	} else {
+		idx = sortIndexByKey(partRecs, c.spare())
+	}
+	forEachGroupIdx(partRecs, idx, func(key []byte, msgs []Message) {
 		jr.job.Reducer.Reduce(key, msgs, out)
 	})
+	dur := time.Since(start).Seconds()
 	jr.mu.Lock()
-	jr.timing.ReduceSeconds += time.Since(start).Seconds()
+	jr.timing.ReduceSeconds += dur
+	if slot.split {
+		jr.timing.SplitSeconds += dur
+	}
 	jr.redsLeft--
 	last := jr.redsLeft == 0
 	jr.mu.Unlock()
@@ -424,9 +498,24 @@ func (jr *jobRun) reduceTask(c *poolCtx, ri int) {
 	}
 }
 
-// reducesDone spawns one output merge shard per declared output
-// relation (sorted name order).
+// reducesDone folds the per-slot loads into the per-reducer stats —
+// int64 sums over slots in slot order, so a split partition's
+// ReduceLoadMB is bit-identical to the unsplit accumulation — then
+// spawns one output merge shard per declared output relation (sorted
+// name order).
 func (jr *jobRun) reducesDone(c *poolCtx) {
+	loads := make([]int64, jr.reducers)
+	var maxTask int64
+	for si := range jr.slots {
+		loads[jr.slots[si].ri] += jr.slotLoads[si]
+		if jr.slotLoads[si] > maxTask {
+			maxTask = jr.slotLoads[si]
+		}
+	}
+	for ri, l := range loads {
+		jr.stats.ReduceLoadMB[ri] = mbOf(l) * jr.inflate
+	}
+	jr.stats.MaxReduceTaskMB = mbOf(maxTask) * jr.inflate
 	// Every reduce task has concatenated its share; release the whole
 	// job's shuffle records now rather than when the program finishes
 	// (the jobRun stays reachable through the scheduler's closures),
@@ -457,9 +546,11 @@ func (jr *jobRun) reducesDone(c *poolCtx) {
 	}
 }
 
-// mergeTask unions one output relation's reduce-task pieces in reducer
-// index order with first-occurrence dedup (relation.Merge — bit-for-bit
-// the order a serial Relation.Add loop would produce) and publishes the
+// mergeTask unions one output relation's reduce-task pieces in reduce
+// slot order (reducer-major, ascending sub-range under splitting — the
+// ordered sub-partition fold) with first-occurrence dedup
+// (relation.Merge — bit-for-bit the order a serial Relation.Add loop
+// over the unsplit reducers would produce) and publishes the
 // merged relation through onOutput, releasing any map tasks of
 // downstream jobs waiting on this relation.
 func (jr *jobRun) mergeTask(c *poolCtx, ni int) {

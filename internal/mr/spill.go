@@ -363,3 +363,38 @@ func (sp *spillPartition) appendSegment(dst []record, ri int, b *Budget) ([]reco
 	}
 	return dst, nil
 }
+
+// appendSegmentRange is appendSegment keeping only the records whose
+// key falls in [lo, hi) — the spill path of a split sub-range reduce
+// task (split.go). It also returns the modelled bytes of the kept
+// records, the sub-task's share of the partition load. The whole
+// segment is read and decoded per sub-task: redundant work, but
+// deterministic and budget-charged per task, and bounded by the
+// sub-range cap (splitMaxKeys) on how many sub-tasks one partition
+// can become.
+func (sp *spillPartition) appendSegmentRange(dst []record, ri int, lo, hi []byte, b *Budget) ([]record, int64, error) {
+	seg := sp.segs[ri]
+	if seg.count == 0 {
+		return dst, 0, nil
+	}
+	buf := grabBytes(b, int(seg.len))
+	if _, err := sp.f.ReadAt(buf, seg.off); err != nil {
+		return dst, 0, fmt.Errorf("mr: spill read: %w", err)
+	}
+	var kept int64
+	for i := 0; i < int(seg.count); i++ {
+		r, rest, err := decodeSpillRecord(buf)
+		if err != nil {
+			return dst, kept, err
+		}
+		if keyInRange(r.key, lo, hi) {
+			dst = append(dst, r)
+			kept += r.size
+		}
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return dst, kept, errSpillCorrupt
+	}
+	return dst, kept, nil
+}

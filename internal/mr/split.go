@@ -1,0 +1,146 @@
+package mr
+
+import "bytes"
+
+// Adaptive skew handling: runtime splitting of heavy reduce partitions.
+//
+// After the shuffle stage the engine knows every reduce partition's
+// modelled byte load (taskPartition.loads, summed in declared order).
+// When Engine.SplitThreshold is active and a partition's load exceeds
+// threshold × the mean partition load, the partition is split at key
+// boundaries derived from the shuffle-time heavy-key sketch
+// (sketch.go) into sub-partition reduce tasks that the work-stealing
+// pool schedules independently — the hot partition's sort and the
+// reduces of its non-dominant keys stop serializing the run.
+//
+// The bit-for-bit contract survives splitting because:
+//
+//   - boundaries partition the key space, so a key group (one
+//     Reducer.Reduce call) can never straddle two sub-tasks;
+//   - each sub-task scans the partition's record stream in the same
+//     declared (part, task) order and keeps its [lo, hi) share, so the
+//     concatenation of the sub-tasks' inputs in sub order is a
+//     permutation-by-range of the unsplit sequence with arrival order
+//     preserved inside every range;
+//   - reducers emit keys in ascending order, so concatenating the
+//     sub-outputs in ascending sub-range order (the ordered
+//     sub-partition fold: reduce slots are laid out reducer-major,
+//     sub-range-minor, and the merge stage walks them in slot order)
+//     reproduces the exact serial Add sequence of the unsplit reducer;
+//   - per-reducer loads are folded as int64 sums over slots in slot
+//     order, bit-identical to the unsplit accumulation.
+//
+// The split plan itself is deterministic: it is computed once at
+// shufflesDone from loads and sketches merged in declared order, so
+// the same job over the same data splits identically at every pool
+// width. The only JobStats fields that differ from an unsplit run are
+// the split observability fields (SplitReduceTasks, MaxReduceTaskMB);
+// JobStats.StripSplitInfo normalizes them for differential comparison.
+
+// reduceSlot is one scheduled reduce task: a whole reduce partition
+// (lo and hi nil, split false), or one key sub-range [lo, hi) of a
+// split partition. Slots are ordered reducer-major, sub-range-minor —
+// the order the output merge folds them in.
+type reduceSlot struct {
+	ri     int
+	lo, hi []byte // key range [lo, hi); nil bound = unbounded
+	split  bool
+}
+
+// singleKey reports whether the slot's range can contain at most one
+// distinct key: hi is lo's immediate successor lo·0x00 — the range a
+// fully-stored sketch key contributes — so every key in [lo, hi) is
+// exactly lo. Such a slot's records are already one group in arrival
+// order, and its reduce task skips the key sort: the serial work the
+// dominant key would otherwise pay, on top of the scheduling benefit.
+func (s reduceSlot) singleKey() bool {
+	return s.split && s.lo != nil && len(s.hi) == len(s.lo)+1 &&
+		s.hi[len(s.lo)] == 0 && bytes.HasPrefix(s.hi, s.lo)
+}
+
+// identityIndex is the sorted index of records already known to share
+// one key (forEachGroupIdx then walks them as a single run in arrival
+// order, exactly what sorting equal keys would produce).
+func identityIndex(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+// keyInRange reports whether key falls in [lo, hi); nil bounds are
+// unbounded.
+func keyInRange(key, lo, hi []byte) bool {
+	if lo != nil && bytes.Compare(key, lo) < 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(key, hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// unsplitSlots is the slot layout with runtime splitting off: one
+// full-range slot per reducer.
+func unsplitSlots(r int) []reduceSlot {
+	slots := make([]reduceSlot, r)
+	for i := range slots {
+		slots[i].ri = i
+	}
+	return slots
+}
+
+// planReduceSlots decides, once per job at shufflesDone, which reduce
+// partitions split and at which boundaries. Every input — per-reducer
+// loads and the merged sketch — is folded in declared (part, task)
+// order, so the plan is a function of the job and the data alone.
+func (jr *jobRun) planReduceSlots() []reduceSlot {
+	r := jr.reducers
+	if jr.gov.split <= 0 || r == 0 {
+		return unsplitSlots(r)
+	}
+	loads := make([]int64, r)
+	var total int64
+	for part := range jr.taskParts {
+		for ti := range jr.taskParts[part] {
+			for ri, l := range jr.taskParts[part][ti].loads {
+				loads[ri] += l
+				total += l
+			}
+		}
+	}
+	if total == 0 {
+		return unsplitSlots(r)
+	}
+	merged := newKeySketch(jr.gov.budget)
+	for part := range jr.taskParts {
+		for ti := range jr.taskParts[part] {
+			if sk := jr.taskParts[part][ti].sketch; sk != nil {
+				merged.absorb(sk)
+			}
+		}
+	}
+	mean := float64(total) / float64(r)
+	slots := make([]reduceSlot, 0, r)
+	for ri := 0; ri < r; ri++ {
+		if float64(loads[ri]) <= jr.gov.split*mean {
+			slots = append(slots, reduceSlot{ri: ri})
+			continue
+		}
+		bounds := merged.splitBoundaries(int32(ri), jr.gov.budget)
+		if len(bounds) == 0 {
+			// The sketch saw no key of this reducer (possible when other
+			// tasks' keys crowded it out): nothing to cut at.
+			slots = append(slots, reduceSlot{ri: ri})
+			continue
+		}
+		var lo []byte
+		for _, b := range bounds {
+			slots = append(slots, reduceSlot{ri: ri, lo: lo, hi: b, split: true})
+			lo = b
+		}
+		slots = append(slots, reduceSlot{ri: ri, lo: lo, split: true})
+	}
+	return slots
+}

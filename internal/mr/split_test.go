@@ -1,0 +1,245 @@
+package mr
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// skewedProgram builds a one-job program with one dominant key: 40% of
+// R's tuples share join value 7, the rest spread over 0..96, so one
+// reduce partition carries several times the mean load and the runtime
+// splitter has something real to cut. Reducers is fixed so the skew
+// ratio doesn't depend on the cost model's reducer derivation.
+func skewedProgram() (*Program, *relation.Database) {
+	var tuples []relation.Tuple
+	for i := int64(0); i < 2000; i++ {
+		v := i % 97
+		if i%5 < 2 { // 40% hot
+			v = 7
+		}
+		tuples = append(tuples, tup(i, v))
+	}
+	db := relation.NewDatabase()
+	db.Put(relation.FromTuples("R", 2, tuples))
+	db.Put(relation.FromTuples("S", 1, []relation.Tuple{
+		tup(7), tup(11), tup(42),
+	}))
+	sj := semijoinJob(false)
+	sj.Reducers = 8
+	return &Program{Jobs: []*Job{sj}}, db
+}
+
+// TestSkewSplitDifferential is the tentpole contract: with runtime
+// splitting on, the skewed program's outputs and deep per-job stats
+// are bit-for-bit identical to a split-disabled sequential oracle at
+// pool widths 1, 4 and GOMAXPROCS — up to the split observability
+// fields, which StripSplitInfo removes and which must themselves be
+// identical at every width. The "spill" subtest re-runs the same
+// differential with a 1-byte spill threshold so split sub-range tasks
+// stream their share back through appendSegmentRange.
+func TestSkewSplitDifferential(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		spill int64
+	}{{"memory", -1}, {"spill", 1}} {
+		t.Run(mode.name, func(t *testing.T) {
+			p, db := skewedProgram()
+			oracle := NewEngine(cost.Default().Scaled(0.001))
+			oracle.Parallelism = 1
+			oracle.SplitThreshold = -1 // splitting off even under the CI gate's env override
+			oracle.SpillThreshold = -1
+			wantOuts, wantStats, err := oracle.RunProgram(p, db)
+			if err != nil {
+				t.Fatalf("oracle run failed: %v", err)
+			}
+			wantSig := programSignature(t, wantOuts)
+			if n := wantStats[0].SplitReduceTasks; n != 0 {
+				t.Fatalf("oracle split %d tasks with splitting off", n)
+			}
+
+			seen := map[int]bool{}
+			splitTasks := -1
+			for _, width := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+				if width < 1 || seen[width] {
+					continue
+				}
+				seen[width] = true
+				e := NewEngine(cost.Default().Scaled(0.001))
+				e.Parallelism = width
+				e.SplitThreshold = 1.3
+				e.SpillThreshold = mode.spill
+				e.SpillDir = t.TempDir()
+				budget := NewBudget(0)
+				outs, stats, _, err := e.RunProgramGoverned(context.Background(), p, db, nil, budget)
+				if err != nil {
+					t.Fatalf("width %d: split run failed: %v", width, err)
+				}
+				if sig := programSignature(t, outs); sig != wantSig {
+					t.Errorf("width %d: split outputs differ from unsplit oracle", width)
+				}
+				got, want := stats[0].StripSplitInfo(), wantStats[0].StripSplitInfo()
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("width %d: split stats differ:\n%+v\nvs\n%+v", width, got, want)
+				}
+				s := stats[0]
+				if s.SplitReduceTasks < 2 {
+					t.Errorf("width %d: SplitReduceTasks = %d, want >= 2", width, s.SplitReduceTasks)
+				}
+				if splitTasks == -1 {
+					splitTasks = s.SplitReduceTasks
+				} else if s.SplitReduceTasks != splitTasks {
+					t.Errorf("width %d: SplitReduceTasks = %d, differs from %d at another width",
+						width, s.SplitReduceTasks, splitTasks)
+				}
+				if s.MaxReduceTaskMB >= s.MaxReduceLoadMB() {
+					t.Errorf("width %d: MaxReduceTaskMB %.4f did not drop below MaxReduceLoadMB %.4f",
+						width, s.MaxReduceTaskMB, s.MaxReduceLoadMB())
+				}
+				if budget.Stats().ChargedBytes <= 0 {
+					t.Errorf("width %d: split run charged no bytes", width)
+				}
+				if mode.spill > 0 && budget.Stats().SpilledParts == 0 {
+					t.Errorf("width %d: spill threshold 1 spilled no partitions", width)
+				}
+			}
+		})
+	}
+}
+
+// TestSkewSplitOffMatchesLoads pins the splitting-off invariant the
+// differential relies on: MaxReduceTaskMB equals MaxReduceLoadMB
+// exactly (every slot is a whole partition) and no tasks are split.
+func TestSkewSplitOffMatchesLoads(t *testing.T) {
+	p, db := skewedProgram()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.SplitThreshold = -1
+	_, stats, err := e.RunProgram(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats[0]
+	if s.SplitReduceTasks != 0 {
+		t.Errorf("SplitReduceTasks = %d with splitting off", s.SplitReduceTasks)
+	}
+	if s.MaxReduceTaskMB != s.MaxReduceLoadMB() {
+		t.Errorf("MaxReduceTaskMB %.6f != MaxReduceLoadMB %.6f with splitting off",
+			s.MaxReduceTaskMB, s.MaxReduceLoadMB())
+	}
+}
+
+// TestSkewSplitTiming: split sub-task time is recorded as a subset of
+// reduce time, leaving TotalSeconds the sum of the four task kinds.
+func TestSkewSplitTiming(t *testing.T) {
+	p, db := skewedProgram()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.SplitThreshold = 1.3
+	_, stats, timings, err := e.RunProgramTimed(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].SplitReduceTasks < 2 {
+		t.Fatalf("program did not split (SplitReduceTasks = %d)", stats[0].SplitReduceTasks)
+	}
+	tm := timings[0]
+	if tm.SplitSeconds <= 0 {
+		t.Errorf("SplitSeconds = %v after a split run", tm.SplitSeconds)
+	}
+	if tm.SplitSeconds > tm.ReduceSeconds {
+		t.Errorf("SplitSeconds %v exceeds ReduceSeconds %v (must be a subset)",
+			tm.SplitSeconds, tm.ReduceSeconds)
+	}
+	want := tm.MapSeconds + tm.ShuffleSeconds + tm.ReduceSeconds + tm.MergeSeconds
+	if tm.TotalSeconds() != want {
+		t.Errorf("TotalSeconds %v != sum of kinds %v", tm.TotalSeconds(), want)
+	}
+}
+
+// TestSkewSplitEnvKnob pins the CI gate's hook: SplitThreshold 0 reads
+// GUMBO_SKEW_SPLIT, a negative threshold wins over the environment,
+// and an unset/garbage/non-positive variable leaves splitting off.
+func TestSkewSplitEnvKnob(t *testing.T) {
+	t.Setenv("GUMBO_SKEW_SPLIT", "1.7")
+	e := NewEngine(cost.Default())
+	if gov := e.newGovern(nil); gov.split != 1.7 {
+		t.Errorf("env ratio not honored: split = %v", gov.split)
+	}
+	if !e.SkewSplitEnabled() {
+		t.Errorf("SkewSplitEnabled() = false with env ratio set")
+	}
+	e.SplitThreshold = -1
+	if gov := e.newGovern(nil); gov.split != 0 {
+		t.Errorf("negative threshold did not disable splitting: %v", gov.split)
+	}
+	if e.SkewSplitEnabled() {
+		t.Errorf("SkewSplitEnabled() = true with negative threshold")
+	}
+	e.SplitThreshold = 0
+	for _, v := range []string{"nope", "-2", "0"} {
+		t.Setenv("GUMBO_SKEW_SPLIT", v)
+		if gov := e.newGovern(nil); gov.split != 0 {
+			t.Errorf("env %q enabled splitting: %v", v, gov.split)
+		}
+	}
+}
+
+// TestSkewSplitPlanLayout unit-tests planReduceSlots' slot geometry
+// directly: slots are reducer-major, a split partition's sub-ranges
+// are ascending and contiguous (each slot's hi is the next slot's lo,
+// with unbounded outer edges), and light partitions stay whole.
+func TestSkewSplitPlanLayout(t *testing.T) {
+	p, db := skewedProgram()
+	e := NewEngine(cost.Default().Scaled(0.001))
+	e.SplitThreshold = 1.3
+	gov := e.newGovern(nil)
+	var slots []reduceSlot
+	jr := e.newJobRun(p.Jobs[0], gov, nil, func(c *poolCtx, jr *jobRun) {
+		slots = jr.slots
+	})
+	err := runTasks(context.Background(), 4, func(c *poolCtx) {
+		jr.seed(c)
+		for part, name := range p.Jobs[0].Inputs {
+			jr.inputReady(c, part, db.Relation(name))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) <= jr.reducers {
+		t.Fatalf("%d slots for %d reducers: nothing split", len(slots), jr.reducers)
+	}
+	prevRi := -1
+	for si := 0; si < len(slots); si++ {
+		s := slots[si]
+		if s.ri < prevRi {
+			t.Fatalf("slot %d: reducer %d after %d (not reducer-major)", si, s.ri, prevRi)
+		}
+		if s.ri != prevRi {
+			// First slot of a partition: unbounded low edge.
+			if s.lo != nil {
+				t.Errorf("slot %d: partition %d starts at lo %q, want unbounded", si, s.ri, s.lo)
+			}
+		}
+		last := si+1 == len(slots) || slots[si+1].ri != s.ri
+		if last {
+			if s.hi != nil {
+				t.Errorf("slot %d: partition %d ends at hi %q, want unbounded", si, s.ri, s.hi)
+			}
+			if !s.split && s.lo != nil {
+				t.Errorf("slot %d: unsplit slot has a bound", si)
+			}
+		} else {
+			if !s.split || !slots[si+1].split {
+				t.Errorf("slot %d: multi-slot partition %d has unsplit slots", si, s.ri)
+			}
+			if string(slots[si+1].lo) != string(s.hi) || s.hi == nil {
+				t.Errorf("slot %d: hi %q does not chain to next lo %q", si, s.hi, slots[si+1].lo)
+			}
+		}
+		prevRi = s.ri
+	}
+}

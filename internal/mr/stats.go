@@ -34,9 +34,30 @@ type JobStats struct {
 	MapTasks    int
 	ReduceTasks int
 	// ReduceLoadMB holds the shuffled bytes received by each reduce
-	// task. Uneven loads (key skew) stretch the reduce wave's makespan
-	// in the cluster simulation.
+	// partition. Uneven loads (key skew) stretch the reduce wave's
+	// makespan in the cluster simulation. Under runtime skew splitting
+	// the per-partition loads are folded from the sub-task loads in
+	// slot order, so the values match the unsplit run bit for bit.
 	ReduceLoadMB []float64
+	// SplitReduceTasks counts the sub-range reduce tasks the runtime
+	// skew splitter scheduled (0 when splitting is off or nothing was
+	// heavy). The split plan is computed from declared-order folds, so
+	// the count is identical at every pool width.
+	SplitReduceTasks int
+	// MaxReduceTaskMB is the heaviest single reduce task's input. With
+	// splitting off it equals MaxReduceLoadMB(); with splitting on it
+	// drops below it when a heavy partition was cut.
+	MaxReduceTaskMB float64
+}
+
+// StripSplitInfo returns a copy with the split observability fields
+// zeroed — the only JobStats fields allowed to differ between a split
+// and an unsplit run of the same job. Differential tests normalize
+// both sides with it before demanding deep equality.
+func (s JobStats) StripSplitInfo() JobStats {
+	s.SplitReduceTasks = 0
+	s.MaxReduceTaskMB = 0
+	return s
 }
 
 // MaxReduceLoadMB returns the heaviest reducer's input.

@@ -1,0 +1,74 @@
+package mr
+
+import "testing"
+
+// Direct unit coverage for the reduce-load helpers (previously only
+// exercised through whole-engine runs), with the degenerate shapes a
+// consumer can hand them: no reducers at all, a single reducer, and
+// all-empty loads.
+func TestMaxReduceLoadMB(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []float64
+		want  float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []float64{}, 0},
+		{"one", []float64{3.5}, 3.5},
+		{"max-first", []float64{9, 1, 2}, 9},
+		{"max-last", []float64{1, 2, 9}, 9},
+		{"all-zero", []float64{0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		s := JobStats{ReduceLoadMB: c.loads}
+		if got := s.MaxReduceLoadMB(); got != c.want {
+			t.Errorf("%s: MaxReduceLoadMB() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestReduceImbalance(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []float64
+		want  float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []float64{}, 0},
+		{"one-reducer", []float64{4}, 1}, // a single reducer is trivially balanced
+		{"all-zero", []float64{0, 0}, 0}, // no load: imbalance undefined, reported 0
+		{"even", []float64{2, 2, 2, 2}, 1},
+		{"skewed", []float64{6, 1, 1}, 2.25}, // max 6 / mean 8/3
+	}
+	for _, c := range cases {
+		s := JobStats{ReduceLoadMB: c.loads}
+		if got := s.ReduceImbalance(); got != c.want {
+			t.Errorf("%s: ReduceImbalance() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestStatsStripSplitInfo: only the split observability fields are
+// cleared; everything else survives untouched.
+func TestStatsStripSplitInfo(t *testing.T) {
+	s := JobStats{
+		Name:             "j",
+		OutputMB:         2,
+		Reducers:         4,
+		ReduceTasks:      4,
+		ReduceLoadMB:     []float64{1, 2},
+		SplitReduceTasks: 3,
+		MaxReduceTaskMB:  1.5,
+	}
+	got := s.StripSplitInfo()
+	if got.SplitReduceTasks != 0 || got.MaxReduceTaskMB != 0 {
+		t.Errorf("split fields not cleared: %+v", got)
+	}
+	if got.Name != "j" || got.OutputMB != 2 || got.Reducers != 4 ||
+		got.ReduceTasks != 4 || len(got.ReduceLoadMB) != 2 {
+		t.Errorf("non-split fields changed: %+v", got)
+	}
+	if s.SplitReduceTasks != 3 {
+		t.Errorf("StripSplitInfo mutated the receiver")
+	}
+}

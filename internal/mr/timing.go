@@ -26,6 +26,10 @@ type JobTiming struct {
 	ShuffleSeconds float64 // shuffle partition tasks (counted two-pass placement)
 	ReduceSeconds  float64 // reduce partition tasks (concatenate, sort, reduce)
 	MergeSeconds   float64 // output merge shards (relation.Merge, publish)
+	// SplitSeconds is the share of ReduceSeconds spent in sub-range
+	// reduce tasks created by the runtime skew splitter — a subset, not
+	// an additional kind, so TotalSeconds is unaffected by splitting.
+	SplitSeconds float64
 }
 
 // TotalSeconds returns the summed task time of all four kinds.

@@ -109,6 +109,11 @@ type Config struct {
 	// bytes reach the threshold go to temp files under SpillDir.
 	SpillThreshold int64
 	SpillDir       string
+	// SkewSplit configures runtime skew splitting on the shared System
+	// (gumbo.WithSkewSplit): reduce partitions heavier than the ratio ×
+	// the mean are split into independently scheduled sub-tasks. 0 =
+	// GUMBO_SKEW_SPLIT env, negative = off.
+	SkewSplit float64
 	// Options are applied to the shared gumbo.System after
 	// WithHostWorkers (e.g. gumbo.WithScale for scaled-down costs).
 	Options []gumbo.Option
@@ -184,6 +189,7 @@ func New(cfg Config) *Server {
 	opts := append([]gumbo.Option{
 		gumbo.WithHostWorkers(cfg.PhaseWorkers),
 		gumbo.WithSpill(cfg.SpillThreshold, cfg.SpillDir),
+		gumbo.WithSkewSplit(cfg.SkewSplit),
 	}, cfg.Options...)
 	queryMem := cfg.QueryMemBudget
 	if queryMem < 0 {

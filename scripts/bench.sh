@@ -8,10 +8,12 @@
 #   BENCH='BenchmarkMSJJob' PKG=. scripts/bench.sh  # other benchmarks/packages
 #
 # The default set covers the engine hot-path micro-benchmarks
-# (./internal/mr/) plus two end-to-end benchmarks at the repo root: the
-# Greedy-BSGF query and the deep-DAG pipelined program (the
-# partition-level scheduler's headline number); PKG may list several
-# packages.
+# (./internal/mr/) plus three end-to-end benchmarks at the repo root:
+# the Greedy-BSGF query, the deep-DAG pipelined program (the
+# partition-level scheduler's headline number), and the skewed query
+# with runtime reduce-partition splitting off and on (the adaptive-skew
+# headline: compare the split=off and split=on sub-benchmarks); PKG may
+# list several packages.
 #
 # The snapshot schema matches BENCH_pr2.json's "before"/"after" entries,
 # so successive snapshots diff cleanly across PRs.
@@ -19,7 +21,7 @@ set -eu
 
 out="${1:-bench_snapshot.json}"
 benchtime="${BENCHTIME:-10x}"
-bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping|BenchmarkGreedyBSGFQuery|BenchmarkProgramPipelined}"
+bench="${BENCH:-BenchmarkRunJobShuffle|BenchmarkReduceGrouping|BenchmarkGreedyBSGFQuery|BenchmarkProgramPipelined|BenchmarkSkewedQuery}"
 pkg="${PKG:-./internal/mr/ .}"
 
 cd "$(dirname "$0")/.."
